@@ -1,0 +1,177 @@
+#include <cstdio>
+
+#include "smr/client.hpp"
+#include "smr/smr_node.hpp"
+
+/// Experiment E8d (DESIGN.md §5): replicated state machine throughput on
+/// top of the consensus core — decided commands per 1000 simulated Delta,
+/// by batch size and cluster configuration. Sequential slots mean one slot
+/// costs ~2 message delays plus slot-turnaround, so batching is the
+/// throughput lever.
+
+namespace fastbft::smr {
+namespace {
+
+struct ThroughputResult {
+  double commands_per_kdelta = 0;
+  Slot slots_used = 0;
+  std::uint64_t messages = 0;
+  double ticks_per_command = 0;
+};
+
+ThroughputResult run_throughput(consensus::QuorumConfig cfg,
+                                std::uint32_t batch, std::uint64_t commands,
+                                std::uint64_t seed = 1) {
+  runtime::ClusterOptions options;
+  options.cfg = cfg;
+  options.net.delta = 100;
+  options.net.min_delay = 100;
+  options.net.seed = seed;
+
+  std::vector<SmrNode*> nodes(cfg.n, nullptr);
+  SmrOptions smr_options;
+  smr_options.max_batch = batch;
+  smr_options.target_commands = commands;
+  options.node_factory = [&nodes, smr_options](
+                             const runtime::ProcessContext& ctx,
+                             const runtime::NodeOptions&,
+                             runtime::Node::DecideCallback) {
+    auto node = std::make_unique<SmrNode>(ctx, smr_options, nullptr);
+    nodes[ctx.id] = node.get();
+    return node;
+  };
+
+  runtime::Cluster cluster(options,
+                           std::vector<Value>(cfg.n, Value::of_string("x")));
+  cluster.start();
+  cluster.scheduler().schedule_at(0, [&] {
+    for (std::uint64_t i = 1; i <= commands; ++i) {
+      nodes[0]->submit(Command::put("key" + std::to_string(i % 64),
+                                    "value-" + std::to_string(i), 1, i));
+    }
+  });
+
+  // Run until every node applied everything (or a generous bound).
+  TimePoint deadline = 50'000'000;
+  while (cluster.scheduler().now() < deadline) {
+    bool done = true;
+    for (auto* node : nodes) {
+      if (node->applied_commands() < commands) {
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+    if (!cluster.scheduler().step()) break;
+  }
+
+  ThroughputResult result;
+  double time = static_cast<double>(cluster.scheduler().now());
+  if (time > 0) {
+    result.commands_per_kdelta =
+        static_cast<double>(commands) / (time / (100.0 * 1000.0));
+    result.ticks_per_command = time / static_cast<double>(commands);
+  }
+  result.slots_used = nodes[0]->current_slot();
+  result.messages = cluster.network().stats().total_messages();
+  return result;
+}
+
+void batch_sweep() {
+  std::printf("\n=== E8d: SMR throughput by batch size (n = 4, f = t = 1, "
+              "200 commands) ===\n");
+  std::printf("%-8s %-18s %-10s %-12s %-16s\n", "batch", "cmds/1000delta",
+              "slots", "msgs", "delta/command");
+  for (std::uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+    auto r = run_throughput(cfg, batch, 200);
+    std::printf("%-8u %-18.1f %-10llu %-12llu %-16.2f\n", batch,
+                r.commands_per_kdelta,
+                static_cast<unsigned long long>(r.slots_used),
+                static_cast<unsigned long long>(r.messages),
+                r.ticks_per_command / 100.0);
+  }
+}
+
+void cluster_size_sweep() {
+  std::printf("\n=== E8e: SMR throughput by cluster config (batch = 8, "
+              "100 commands) ===\n");
+  std::printf("%-14s %-6s %-18s %-12s\n", "(f, t)", "n", "cmds/1000delta",
+              "msgs");
+  struct P {
+    std::uint32_t f, t;
+  };
+  for (P p : {P{1, 1}, P{2, 1}, P{2, 2}, P{3, 1}}) {
+    std::uint32_t n = consensus::QuorumConfig::min_processes(p.f, p.t);
+    auto cfg = consensus::QuorumConfig::create(n, p.f, p.t);
+    auto r = run_throughput(cfg, 8, 100);
+    char label[16];
+    std::snprintf(label, sizeof(label), "(%u, %u)", p.f, p.t);
+    std::printf("%-14s %-6u %-18.1f %-12llu\n", label, n,
+                r.commands_per_kdelta,
+                static_cast<unsigned long long>(r.messages));
+  }
+}
+
+
+void client_latency() {
+  std::printf("\n=== E8f: client-perceived latency (f+1 replica reports), "
+              "n = 4, f = t = 1 ===\n");
+  std::printf("%-8s %-16s %-16s %-16s\n", "batch", "min (delta)",
+              "median (delta)", "max (delta)");
+  for (std::uint32_t batch : {1u, 8u}) {
+    auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+    runtime::ClusterOptions options;
+    options.cfg = cfg;
+    options.net.delta = 100;
+    options.net.min_delay = 100;
+
+    std::vector<SmrNode*> nodes(4, nullptr);
+    SmrOptions smr_options;
+    smr_options.max_batch = batch;
+    smr_options.target_commands = 40;
+    std::unique_ptr<Client> client;
+    options.node_factory = [&](const runtime::ProcessContext& ctx,
+                               const runtime::NodeOptions&,
+                               runtime::Node::DecideCallback) {
+      if (!client) client = std::make_unique<Client>(1, cfg.f, *ctx.scheduler);
+      auto node = std::make_unique<SmrNode>(ctx, smr_options,
+                                            client->subscription());
+      nodes[ctx.id] = node.get();
+      return node;
+    };
+    runtime::Cluster cluster(options,
+                             std::vector<Value>(4, Value::of_string("-")));
+    cluster.start();
+    cluster.scheduler().schedule_at(0, [&] {
+      for (int i = 0; i < 40; ++i) {
+        client->submit(*nodes[0], Command::put("k" + std::to_string(i), "v"));
+      }
+    });
+    cluster.run_until(1'000'000);
+
+    auto stats = client->latency_stats();
+    if (!stats || !client->all_complete()) {
+      std::printf("%-8u (incomplete)\n", batch);
+      continue;
+    }
+    std::printf("%-8u %-16.1f %-16.1f %-16.1f\n", batch,
+                static_cast<double>(stats->min) / 100.0,
+                static_cast<double>(stats->median) / 100.0,
+                static_cast<double>(stats->max) / 100.0);
+  }
+  std::printf("(a command waits for its slot: small batches mean long "
+              "queues — the latency/throughput trade-off)\n");
+}
+
+}  // namespace
+}  // namespace fastbft::smr
+
+int main() {
+  std::printf("bench_smr_throughput: experiment E8d/E8e — replicated KV "
+              "store throughput\n");
+  fastbft::smr::batch_sweep();
+  fastbft::smr::cluster_size_sweep();
+  fastbft::smr::client_latency();
+  return 0;
+}

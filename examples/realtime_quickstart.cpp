@@ -1,0 +1,52 @@
+#include <chrono>
+#include <cstdio>
+
+#include "runtime/threaded_cluster.hpp"
+
+/// The same protocol, real threads, real clock: nine OS threads (one per
+/// process), f = t = 2, two of them crashed — wall-clock time to a
+/// Byzantine-fault-tolerant decision.
+///
+/// Run: ./build/examples/realtime_quickstart
+
+using namespace fastbft;
+using namespace std::chrono;
+
+int main() {
+  auto cfg = consensus::QuorumConfig::create(/*n=*/9, /*f=*/2, /*t=*/2);
+
+  std::vector<Value> inputs;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    inputs.push_back(Value::of_string("cmd-" + std::to_string(i)));
+  }
+
+  runtime::ThreadedCluster cluster(cfg, inputs);
+  cluster.crash(4);
+  cluster.crash(8);
+
+  auto begin = steady_clock::now();
+  cluster.start();
+  bool decided = cluster.wait_all_correct_decided(seconds(10));
+  auto elapsed = duration_cast<microseconds>(steady_clock::now() - begin);
+
+  if (!decided) {
+    std::printf("no decision within 10s — something is wrong\n");
+    return 1;
+  }
+
+  std::printf("9 processes (2 crashed), f = t = 2, real threads:\n");
+  for (const auto& [pid, record] : cluster.decisions()) {
+    std::printf("  p%u decided \"%s\" in view %llu\n", pid,
+                record.value.to_string().c_str(),
+                static_cast<unsigned long long>(record.view));
+  }
+  std::printf("agreement: %s\n", cluster.agreement() ? "yes" : "NO (bug!)");
+  std::printf("wall-clock time to full decision: %lld us (%llu messages "
+              "delivered)\n",
+              static_cast<long long>(elapsed.count()),
+              static_cast<unsigned long long>(cluster.delivered_messages()));
+  std::printf("\n(the two-message-delay structure is the same as in the\n"
+              "simulator; here a \"delay\" is an in-process queue hop of a\n"
+              "few microseconds instead of a scripted Delta)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/messages.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/process.hpp"
+
+/// \file behaviors.hpp
+/// Reusable Byzantine process behaviours for fault-injection tests and
+/// benchmarks. Each factory plugs into runtime::Cluster::replace_process.
+///
+/// None of these behaviours forge other processes' signatures — consistent
+/// with the paper's computationally bounded adversary (and with the
+/// simulation-signature substitution described in crypto/signer.hpp).
+
+namespace fastbft::adversary {
+
+/// A process that never sends anything (receives and discards). Weakest
+/// Byzantine behaviour; distinct from a crash because it keeps its network
+/// links alive.
+runtime::ProcessFactory silent();
+
+/// A leader that equivocates in view 1: proposes `value_a` to processes
+/// with even ids and `value_b` to processes with odd ids (both correctly
+/// signed — the paper's undeniable evidence of misbehaviour), acks both
+/// values itself, then participates no further. Exercises the
+/// equivocation branch of the selection algorithm in the ensuing view
+/// change.
+runtime::ProcessFactory equivocating_leader(Value value_a, Value value_b);
+
+/// A process that acknowledges every proposal it sees, valid or not, in
+/// every view, and sends votes for whatever it last saw. Amplifies
+/// equivocation; never helps liveness.
+runtime::ProcessFactory promiscuous_acker();
+
+/// A process that runs the honest protocol but delays its own sending by
+/// `lag` ticks (stale but correctly signed messages). Stresses the
+/// buffering and view-scoping logic.
+runtime::ProcessFactory laggard(Duration lag);
+
+}  // namespace fastbft::adversary

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "net/transport.hpp"
+
+/// \file recording_transport.hpp
+/// Transport that records outgoing messages instead of delivering them.
+/// Scripted experiments (notably the Theorem 4.5 lower-bound attack) crank
+/// replicas by hand: they inspect each process's outbox and deliver exactly
+/// the messages the adversarial schedule allows, in the order it dictates.
+
+namespace fastbft::adversary {
+
+class RecordingTransport final : public net::Transport {
+ public:
+  RecordingTransport(ProcessId self, std::uint32_t n) : self_(self), n_(n) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    outbox_.push_back(net::Envelope{self_, to, std::move(payload)});
+  }
+
+  std::uint32_t cluster_size() const override { return n_; }
+  ProcessId self() const override { return self_; }
+
+  /// Returns and clears everything sent since the last take.
+  std::vector<net::Envelope> take_outbox() {
+    std::vector<net::Envelope> out = std::move(outbox_);
+    outbox_.clear();
+    return out;
+  }
+
+  const std::vector<net::Envelope>& peek_outbox() const { return outbox_; }
+
+ private:
+  ProcessId self_;
+  std::uint32_t n_;
+  std::vector<net::Envelope> outbox_;
+};
+
+}  // namespace fastbft::adversary

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Always-on assertion macro. The protocols in this library maintain
+/// cryptographic and quorum invariants that must hold even in release
+/// builds; violating one indicates a bug, so we abort loudly instead of
+/// continuing with corrupted state.
+
+#define FASTBFT_ASSERT(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FASTBFT_ASSERT failed at %s:%d: %s — %s\n",    \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file bytes.hpp
+/// Raw byte-buffer helpers used by the codec and the crypto layer.
+
+namespace fastbft {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Converts an arbitrary string to bytes (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Renders `data` as lowercase hex.
+std::string to_hex(const Bytes& data);
+
+/// Renders the first `max_bytes` of `data` as hex, appending ".." when
+/// truncated. Useful for log lines.
+std::string to_hex_prefix(const Bytes& data, std::size_t max_bytes);
+
+/// Parses lowercase/uppercase hex. Returns an empty buffer on malformed
+/// input of odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time-ish equality (length leak only); signatures and digests are
+/// compared with this to keep the idiom explicit even in simulation.
+bool bytes_equal(const Bytes& a, const Bytes& b);
+
+}  // namespace fastbft

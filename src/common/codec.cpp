@@ -1,0 +1,88 @@
+#include "common/codec.hpp"
+
+namespace fastbft {
+
+void Encoder::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void Encoder::bytes(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Encoder::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+bool Decoder::ensure(std::size_t count) {
+  if (!ok_) return false;
+  if (data_.size() - pos_ < count) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Decoder::u8() {
+  if (!ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Decoder::u16() {
+  if (!ensure(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Decoder::u32() {
+  if (!ensure(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  if (!ensure(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Decoder::bytes() {
+  std::uint32_t len = u32();
+  if (!ensure(len)) return {};
+  Bytes out(data_.begin() + static_cast<long>(pos_),
+            data_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string Decoder::str() {
+  Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace fastbft

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+/// \file codec.hpp
+/// Minimal deterministic binary codec. All protocol messages, signing
+/// preimages and certificates are serialized through Encoder/Decoder so that
+/// (a) byte sizes reported by the benchmarks are honest and (b) signatures
+/// cover a canonical encoding.
+///
+/// Wire format: fixed-width little-endian integers; byte strings and lists
+/// are length-prefixed with u32. There is no versioning — the codec is
+/// internal to the library.
+
+namespace fastbft {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void bytes(const Bytes& b);
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  /// Raw append without a length prefix (used for domain-separation tags).
+  void raw(const Bytes& b);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Pull-based decoder. Every accessor checks bounds; after the first
+/// failure `ok()` turns false and all further reads return zero values.
+/// Callers must check `ok()` (and typically `at_end()`) after decoding.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean() { return u8() != 0; }
+  Bytes bytes();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Marks the decode as failed; used by message parsers when a semantic
+  /// check (e.g. enum range) fails.
+  void fail() { ok_ = false; }
+
+ private:
+  bool ensure(std::size_t count);
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Convenience: encode a single object that provides
+/// `void encode(Encoder&) const`.
+template <typename T>
+Bytes encode_to_bytes(const T& value) {
+  Encoder enc;
+  value.encode(enc);
+  return std::move(enc).take();
+}
+
+/// Convenience: decode an object with a static
+/// `static std::optional<T> decode(Decoder&)`, requiring full consumption.
+template <typename T>
+std::optional<T> decode_from_bytes(const Bytes& data) {
+  Decoder dec(data);
+  auto v = T::decode(dec);
+  if (!v.has_value() || !dec.ok() || !dec.at_end()) return std::nullopt;
+  return v;
+}
+
+}  // namespace fastbft

@@ -1,0 +1,22 @@
+#include "common/logging.hpp"
+
+namespace fastbft {
+
+LogLevel Log::level = LogLevel::Off;
+TimePoint Log::now_hint = 0;
+
+void Log::write(LogLevel lvl, const std::string& component,
+                const std::string& msg) {
+  const char* tag = "?";
+  switch (lvl) {
+    case LogLevel::Error: tag = "E"; break;
+    case LogLevel::Info: tag = "I"; break;
+    case LogLevel::Debug: tag = "D"; break;
+    case LogLevel::Off: return;
+  }
+  std::fprintf(stderr, "[%s t=%lld %s] %s\n", tag,
+               static_cast<long long>(now_hint), component.c_str(),
+               msg.c_str());
+}
+
+}  // namespace fastbft

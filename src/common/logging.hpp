@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file logging.hpp
+/// Tiny leveled logger. Deterministic simulations produce identical logs for
+/// identical seeds, which makes `Debug` level genuinely useful for protocol
+/// forensics. Logging is globally off by default so tests and benchmarks
+/// stay quiet.
+
+namespace fastbft {
+
+enum class LogLevel : int { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+class Log {
+ public:
+  static LogLevel level;
+
+  /// Current simulated time for log prefixes; the scheduler keeps it fresh.
+  static TimePoint now_hint;
+
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& msg);
+};
+
+inline void log_error(const std::string& component, const std::string& msg) {
+  if (Log::level >= LogLevel::Error) Log::write(LogLevel::Error, component, msg);
+}
+inline void log_info(const std::string& component, const std::string& msg) {
+  if (Log::level >= LogLevel::Info) Log::write(LogLevel::Info, component, msg);
+}
+inline void log_debug(const std::string& component, const std::string& msg) {
+  if (Log::level >= LogLevel::Debug) Log::write(LogLevel::Debug, component, msg);
+}
+
+}  // namespace fastbft

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Strong scalar aliases shared by every module. Process identifiers are
+/// 0-based indices into the cluster membership; views, slots and simulated
+/// time are 64-bit to make overflow a non-issue for any run we perform.
+
+namespace fastbft {
+
+/// 0-based index of a process within the cluster membership.
+using ProcessId = std::uint32_t;
+
+/// View (a.k.a. round / ballot) number. Views start at 1; 0 means "none".
+using View = std::uint64_t;
+
+/// Slot index in the replicated log (SMR layer).
+using Slot = std::uint64_t;
+
+/// Simulated time in abstract "ticks". The network delay bound Delta is
+/// expressed in the same unit, so latencies divide cleanly into message
+/// delays.
+using TimePoint = std::int64_t;
+
+/// Difference of two TimePoints.
+using Duration = std::int64_t;
+
+inline constexpr View kNoView = 0;
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<TimePoint>::max() / 4;
+
+}  // namespace fastbft

@@ -1,0 +1,31 @@
+#include "common/value.hpp"
+
+#include <cctype>
+
+namespace fastbft {
+
+Value Value::of_u64(std::uint64_t v) {
+  Encoder enc;
+  enc.u64(v);
+  return Value(std::move(enc).take());
+}
+
+std::string Value::to_string() const {
+  bool printable = !bytes_.empty();
+  for (std::uint8_t b : bytes_) {
+    if (!std::isprint(b)) {
+      printable = false;
+      break;
+    }
+  }
+  if (printable) return std::string(bytes_.begin(), bytes_.end());
+  return "0x" + to_hex_prefix(bytes_, 8);
+}
+
+std::optional<Value> Value::decode(Decoder& dec) {
+  Bytes b = dec.bytes();
+  if (!dec.ok()) return std::nullopt;
+  return Value(std::move(b));
+}
+
+}  // namespace fastbft

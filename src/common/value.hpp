@@ -1,0 +1,45 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+
+/// \file value.hpp
+/// The opaque value processes agree on. Consensus never inspects the
+/// contents; equality and a canonical encoding are all the protocol needs.
+/// The SMR layer stores serialized commands in here.
+
+namespace fastbft {
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(Bytes bytes) : bytes_(std::move(bytes)) {}
+
+  static Value of_string(std::string_view s) { return Value(to_bytes(s)); }
+  static Value of_u64(std::uint64_t v);
+
+  const Bytes& bytes() const { return bytes_; }
+  bool empty() const { return bytes_.empty(); }
+  std::size_t size() const { return bytes_.size(); }
+
+  /// Human-readable rendering for logs: printable ASCII shown verbatim,
+  /// otherwise hex prefix.
+  std::string to_string() const;
+
+  void encode(Encoder& enc) const { enc.bytes(bytes_); }
+  static std::optional<Value> decode(Decoder& dec);
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+  friend auto operator<=>(const Value& a, const Value& b) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+}  // namespace fastbft

@@ -1,0 +1,33 @@
+#include "consensus/config.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fastbft::consensus {
+
+QuorumConfig QuorumConfig::create(std::uint32_t n, std::uint32_t f,
+                                  std::uint32_t t) {
+  QuorumConfig cfg{n, f, t};
+  FASTBFT_ASSERT(cfg.satisfies_bound(),
+                 "QuorumConfig requires 1 <= t <= f and n >= 3f + 2t - 1");
+  return cfg;
+}
+
+QuorumConfig QuorumConfig::unsafe_for_lower_bound_demo(std::uint32_t n,
+                                                       std::uint32_t f,
+                                                       std::uint32_t t) {
+  FASTBFT_ASSERT(f >= 1 && t >= 1 && t <= f && n >= 2 * f + t,
+                 "even the unsafe config needs enough processes to run");
+  return QuorumConfig{n, f, t};
+}
+
+std::string QuorumConfig::to_string() const {
+  std::ostringstream out;
+  out << "n=" << n << " f=" << f << " t=" << t
+      << " (fast=" << fast_quorum() << ", votes=" << vote_quorum()
+      << ", commit=" << commit_quorum() << ")";
+  return out.str();
+}
+
+}  // namespace fastbft::consensus

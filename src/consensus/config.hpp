@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file config.hpp
+/// Quorum arithmetic for the generalized protocol of the paper
+/// (Appendix A): n processes, up to f Byzantine, fast (2-step) as long as
+/// the actual number of faults is <= t, requiring n >= 3f + 2t - 1.
+/// The vanilla Section-3 protocol is the special case t = f
+/// (n >= 5f - 1, slow path unused).
+
+namespace fastbft::consensus {
+
+struct QuorumConfig {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::uint32_t t = 0;
+
+  /// Validated constructor: enforces 1 <= t <= f and n >= 3f + 2t - 1.
+  static QuorumConfig create(std::uint32_t n, std::uint32_t f, std::uint32_t t);
+
+  /// Vanilla protocol of Section 3: t = f, n >= 5f - 1.
+  static QuorumConfig vanilla(std::uint32_t n, std::uint32_t f) {
+    return create(n, f, f);
+  }
+
+  /// Smallest legal cluster for (f, t).
+  static std::uint32_t min_processes(std::uint32_t f, std::uint32_t t) {
+    return 3 * f + 2 * t - 1;
+  }
+
+  /// DELIBERATELY-unsafe constructor used by the lower-bound experiment
+  /// (E7): builds a config with n below the 3f+2t-1 bound so the
+  /// Theorem 4.5 adversary can be demonstrated. Never use outside tests.
+  static QuorumConfig unsafe_for_lower_bound_demo(std::uint32_t n,
+                                                  std::uint32_t f,
+                                                  std::uint32_t t);
+
+  bool satisfies_bound() const {
+    return f >= 1 && t >= 1 && t <= f && n >= min_processes(f, t);
+  }
+
+  /// Votes the view-change leader collects (n - f).
+  std::uint32_t vote_quorum() const { return n - f; }
+
+  /// Acks required to decide on the fast path (n - t; equals n - f in the
+  /// vanilla protocol).
+  std::uint32_t fast_quorum() const { return n - t; }
+
+  /// CertAck signatures forming a progress certificate (f + 1).
+  std::uint32_t cert_quorum() const { return f + 1; }
+
+  /// Processes the leader sends CertReq to (at least 2f + 1, so that f + 1
+  /// correct ones respond even with f faults among them).
+  std::uint32_t cert_req_targets() const { return 2 * f + 1; }
+
+  /// Signed acks / Commit messages forming the slow path quorum
+  /// ceil((n + f + 1) / 2).
+  std::uint32_t commit_quorum() const { return (n + f + 2) / 2; }
+
+  /// Votes for a single value (from processes other than the equivocator)
+  /// that force its selection: f + t (2f in the vanilla protocol).
+  std::uint32_t equivocation_vote_threshold() const { return f + t; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const QuorumConfig&, const QuorumConfig&) = default;
+};
+
+}  // namespace fastbft::consensus

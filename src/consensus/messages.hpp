@@ -1,0 +1,100 @@
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "net/tags.hpp"
+
+/// \file messages.hpp
+/// Wire messages of the protocol (Figures 1a, 1b and 5 of the paper), each
+/// serialized as tag byte + body. Parsing is total: malformed payloads
+/// decode to nullopt and are dropped by the replica, never trusted.
+
+namespace fastbft::consensus {
+
+/// propose(x, v, sigma, tau) — leader's proposal (Section 3.1).
+struct ProposeMsg {
+  View v = kNoView;
+  Value x;
+  ProgressCert sigma;
+  crypto::Signature tau;
+
+  Bytes serialize() const;
+  static std::optional<ProposeMsg> decode(Decoder& dec);
+};
+
+/// ack(x, v) — unsigned acknowledgment broadcast on accepting a proposal.
+struct AckMsg {
+  View v = kNoView;
+  Value x;
+
+  Bytes serialize() const;
+  static std::optional<AckMsg> decode(Decoder& dec);
+};
+
+/// sig(phi_ack) — slow path (Appendix A.1): the signed counterpart of an
+/// ack, sent separately so signing latency never delays the fast path.
+struct AckSigMsg {
+  View v = kNoView;
+  Value x;
+  crypto::Signature phi_ack;
+
+  Bytes serialize() const;
+  static std::optional<AckSigMsg> decode(Decoder& dec);
+};
+
+/// Commit(x, v, cc) — slow path: broadcast once a commit certificate is
+/// assembled.
+struct CommitMsg {
+  View v = kNoView;
+  Value x;
+  CommitCert cc;
+
+  Bytes serialize() const;
+  static std::optional<CommitMsg> decode(Decoder& dec);
+};
+
+/// vote(vote_q, phi_vote) — sent to the leader of a newly entered view.
+struct VoteMsg {
+  View v = kNoView;  // destination view
+  VoteRecord record;
+
+  Bytes serialize() const;
+  static std::optional<VoteMsg> decode(Decoder& dec);
+};
+
+/// CertReq(x, votes) — leader asks for confirmation that x was selected
+/// correctly from `votes` (Section 3.2, "creating the progress
+/// certificate").
+struct CertReqMsg {
+  View v = kNoView;
+  Value x;
+  std::vector<VoteRecord> votes;
+
+  Bytes serialize() const;
+  static std::optional<CertReqMsg> decode(Decoder& dec);
+};
+
+/// CertAck(phi_ca) — signed confirmation returned to the leader.
+struct CertAckMsg {
+  View v = kNoView;
+  Value x;
+  crypto::Signature phi_ca;
+
+  Bytes serialize() const;
+  static std::optional<CertAckMsg> decode(Decoder& dec);
+};
+
+using Message = std::variant<ProposeMsg, AckMsg, AckSigMsg, CommitMsg, VoteMsg,
+                             CertReqMsg, CertAckMsg>;
+
+/// Parses a full payload (tag + body). Returns nullopt for unknown tags,
+/// truncated or trailing bytes.
+std::optional<Message> parse_message(const Bytes& payload);
+
+/// View number of any protocol message (used for buffering).
+View message_view(const Message& msg);
+
+}  // namespace fastbft::consensus

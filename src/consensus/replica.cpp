@@ -1,0 +1,359 @@
+#include "consensus/replica.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace fastbft::consensus {
+
+namespace {
+std::string who(ProcessId id) { return "replica-" + std::to_string(id); }
+}  // namespace
+
+Replica::Replica(QuorumConfig cfg, ProcessId id, Value input,
+                 net::Transport& transport, crypto::Signer signer,
+                 crypto::Verifier verifier, LeaderFn leader_of,
+                 DecideCallback on_decide, ReplicaOptions options)
+    : cfg_(cfg),
+      id_(id),
+      input_(std::move(input)),
+      transport_(transport),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      leader_of_(std::move(leader_of)),
+      on_decide_(std::move(on_decide)),
+      options_(options) {
+  FASTBFT_ASSERT(!input_.empty(), "consensus inputs must be non-empty");
+  FASTBFT_ASSERT(id_ < cfg_.n, "replica id out of range");
+}
+
+void Replica::start() {
+  if (leader_of_(1) == id_) {
+    log_debug(who(id_), "view 1 leader proposing input " + input_.to_string());
+    send_proposal(input_, ProgressCert{});
+  }
+}
+
+void Replica::on_message(ProcessId from, const Bytes& payload) {
+  auto parsed = parse_message(payload);
+  if (!parsed) {
+    log_debug(who(id_), "dropping malformed payload");
+    return;
+  }
+  if (buffer_if_future(from, *parsed, payload)) return;
+  handle(from, *parsed);
+}
+
+bool Replica::buffer_if_future(ProcessId from, const Message& msg,
+                               const Bytes& payload) {
+  // Acks, signed acks and Commits are decision evidence: they remain
+  // meaningful for views we already left or have not reached, so they are
+  // never buffered. Everything else is view-scoped.
+  if (std::holds_alternative<AckMsg>(msg) ||
+      std::holds_alternative<AckSigMsg>(msg) ||
+      std::holds_alternative<CommitMsg>(msg)) {
+    return false;
+  }
+  View v = message_view(msg);
+  if (v <= view_) return false;
+  constexpr std::size_t kMaxBuffered = 100'000;
+  if (future_buffered_total_ >= kMaxBuffered) return true;  // drop
+  future_buffer_[v].emplace_back(from, payload);
+  ++future_buffered_total_;
+  return true;
+}
+
+void Replica::replay_buffered() {
+  // Drop buffers for views we skipped past.
+  while (!future_buffer_.empty() && future_buffer_.begin()->first < view_) {
+    future_buffered_total_ -= future_buffer_.begin()->second.size();
+    future_buffer_.erase(future_buffer_.begin());
+  }
+  auto it = future_buffer_.find(view_);
+  if (it == future_buffer_.end()) return;
+  std::vector<std::pair<ProcessId, Bytes>> pending = std::move(it->second);
+  future_buffered_total_ -= pending.size();
+  future_buffer_.erase(it);
+  for (auto& [from, payload] : pending) {
+    auto parsed = parse_message(payload);
+    if (parsed) handle(from, *parsed);
+  }
+}
+
+void Replica::handle(ProcessId from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ProposeMsg>) {
+          handle_propose(from, m);
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          handle_ack(from, m);
+        } else if constexpr (std::is_same_v<T, AckSigMsg>) {
+          handle_ack_sig(from, m);
+        } else if constexpr (std::is_same_v<T, CommitMsg>) {
+          handle_commit(from, m);
+        } else if constexpr (std::is_same_v<T, VoteMsg>) {
+          handle_vote(from, m);
+        } else if constexpr (std::is_same_v<T, CertReqMsg>) {
+          handle_cert_req(from, m);
+        } else if constexpr (std::is_same_v<T, CertAckMsg>) {
+          handle_cert_ack(from, m);
+        }
+      },
+      msg);
+}
+
+void Replica::enter_view(View v) {
+  if (v <= view_) return;
+  log_debug(who(id_), "entering view " + std::to_string(v));
+  view_ = v;
+  leader_state_.reset();
+
+  ProcessId leader = leader_of_(v);
+  if (leader == id_) {
+    leader_state_.emplace();
+    leader_state_->v = v;
+  }
+  send_vote_to(leader, v);
+  replay_buffered();
+}
+
+void Replica::send_vote_to(ProcessId leader, View v) {
+  VoteMsg msg;
+  msg.v = v;
+  msg.record.voter = id_;
+  msg.record.vote = vote_.value_or(Vote::nil());
+  if (options_.slow_path && latest_cc_) msg.record.cc = latest_cc_;
+  msg.record.phi = signer_.sign(
+      kDomVote, vote_preimage(msg.record.vote, msg.record.cc, v));
+  transport_.send(leader, msg.serialize());
+}
+
+// --- Fast path --------------------------------------------------------------
+
+void Replica::send_proposal(const Value& x, ProgressCert sigma) {
+  ProposeMsg msg;
+  msg.v = view_;
+  msg.x = x;
+  msg.sigma = std::move(sigma);
+  msg.tau = signer_.sign(kDomPropose, propose_preimage(x, view_));
+  transport_.broadcast(msg.serialize());
+}
+
+void Replica::handle_propose(ProcessId from, const ProposeMsg& msg) {
+  if (msg.v != view_) return;  // future views buffered, stale ones stale
+  if (from != leader_of_(msg.v)) return;
+  if (proposal_accepted_.contains(msg.v)) return;
+  if (msg.x.empty()) return;
+  if (!verifier_.verify(from, kDomPropose, propose_preimage(msg.x, msg.v),
+                        msg.tau)) {
+    return;
+  }
+  if (!verify_progress_cert(verifier_, cfg_, msg.x, msg.v, msg.sigma)) {
+    return;
+  }
+
+  proposal_accepted_.insert(msg.v);
+  max_cert_bytes_seen_ = std::max(max_cert_bytes_seen_, msg.sigma.size_bytes());
+
+  // Adopt the vote before acknowledging (Section 3.2: the vote is the last
+  // proposal this process acknowledged).
+  vote_ = Vote::of(msg.x, msg.v, msg.sigma, msg.tau);
+
+  AckMsg ack;
+  ack.v = msg.v;
+  ack.x = msg.x;
+  transport_.broadcast(ack.serialize());
+
+  if (options_.slow_path) {
+    AckSigMsg sig;
+    sig.v = msg.v;
+    sig.x = msg.x;
+    sig.phi_ack = signer_.sign(kDomAck, ack_preimage(msg.x, msg.v));
+    transport_.broadcast(sig.serialize());
+  }
+}
+
+void Replica::handle_ack(ProcessId from, const AckMsg& msg) {
+  if (msg.x.empty() || msg.v == kNoView) return;
+  auto key = key_of(msg.v, msg.x);
+  auto& ackers = acks_[key];
+  ackers.insert(from);
+  if (ackers.size() >= cfg_.fast_quorum()) {
+    decide(msg.x, msg.v, /*slow=*/false);
+  }
+}
+
+// --- Slow path (Appendix A) -------------------------------------------------
+
+void Replica::handle_ack_sig(ProcessId from, const AckSigMsg& msg) {
+  if (!options_.slow_path) return;
+  if (msg.x.empty() || msg.v == kNoView) return;
+  if (!verifier_.verify(from, kDomAck, ack_preimage(msg.x, msg.v),
+                        msg.phi_ack)) {
+    return;
+  }
+  auto key = key_of(msg.v, msg.x);
+  ack_sigs_[key].emplace(from, msg.phi_ack);
+  maybe_assemble_commit_cert(key);
+}
+
+void Replica::maybe_assemble_commit_cert(const ValueKey& key) {
+  const auto& sigs = ack_sigs_[key];
+  if (sigs.size() < cfg_.commit_quorum()) return;
+  if (commit_sent_.contains(key)) return;
+  commit_sent_.insert(key);
+
+  CommitCert cc;
+  cc.v = key.first;
+  cc.x = Value(key.second);
+  for (const auto& [signer, sig] : sigs) {
+    cc.sigs.push_back(SignatureEntry{signer, sig});
+    if (cc.sigs.size() == cfg_.commit_quorum()) break;
+  }
+  adopt_cc(cc);
+
+  CommitMsg msg;
+  msg.v = cc.v;
+  msg.x = cc.x;
+  msg.cc = std::move(cc);
+  transport_.broadcast(msg.serialize());
+}
+
+void Replica::adopt_cc(const CommitCert& cc) {
+  if (!latest_cc_ || cc.v > latest_cc_->v) latest_cc_ = cc;
+}
+
+void Replica::handle_commit(ProcessId from, const CommitMsg& msg) {
+  if (!options_.slow_path) return;
+  if (msg.cc.x != msg.x || msg.cc.v != msg.v) return;
+  if (!verify_commit_cert(verifier_, cfg_, msg.cc)) return;
+  adopt_cc(msg.cc);
+  auto key = key_of(msg.v, msg.x);
+  auto& senders = commit_senders_[key];
+  senders.insert(from);
+  if (senders.size() >= cfg_.commit_quorum()) {
+    decide(msg.x, msg.v, /*slow=*/true);
+  }
+}
+
+// --- View change ------------------------------------------------------------
+
+void Replica::handle_vote(ProcessId from, const VoteMsg& msg) {
+  if (msg.v != view_ || !leader_state_) return;
+  FASTBFT_ASSERT(leader_of_(msg.v) == id_, "leader state in a foreign view");
+  if (leader_state_->proposed || leader_state_->cert_requested) return;
+  if (msg.record.voter != from) return;
+  if (!options_.slow_path && msg.record.cc) return;
+  if (!validate_vote_record(verifier_, cfg_, leader_of_, msg.record, msg.v)) {
+    log_debug(who(id_), "rejecting invalid vote from " + std::to_string(from));
+    return;
+  }
+  leader_state_->votes.insert({from, msg.record});
+  try_select();
+}
+
+void Replica::try_select() {
+  FASTBFT_ASSERT(leader_state_.has_value(), "try_select without leadership");
+  LeaderState& st = *leader_state_;
+  if (st.cert_requested) return;
+
+  std::vector<VoteRecord> records;
+  records.reserve(st.votes.size());
+  for (const auto& [voter, record] : st.votes) records.push_back(record);
+
+  SelectionResult result = run_selection(cfg_, records, leader_of_);
+  switch (result.kind) {
+    case SelectionResult::Kind::NeedMoreVotes:
+      return;
+    case SelectionResult::Kind::Forced:
+      st.selected = result.value;
+      break;
+    case SelectionResult::Kind::Free:
+      st.selected = input_;
+      break;
+  }
+  st.cert_requested = true;
+
+  log_debug(who(id_), "view " + std::to_string(view_) + " selected " +
+                          st.selected.to_string() +
+                          (result.equivocation_detected
+                               ? " (equivocation by " +
+                                     std::to_string(result.equivocator) + ")"
+                               : ""));
+
+  CertReqMsg req;
+  req.v = view_;
+  req.x = st.selected;
+  req.votes = std::move(records);
+  Bytes payload = req.serialize();
+  if (options_.cert_req_broadcast) {
+    transport_.broadcast(payload);
+    return;
+  }
+  // At least 2f+1 distinct targets guarantee f+1 correct CertAck
+  // responders. Spread from our own id so repeated leaders do not always
+  // load the same prefix of the cluster.
+  for (std::uint32_t k = 0; k < cfg_.cert_req_targets(); ++k) {
+    transport_.send((id_ + k) % cfg_.n, payload);
+  }
+}
+
+void Replica::handle_cert_req(ProcessId from, const CertReqMsg& msg) {
+  if (msg.v != view_) return;
+  if (from != leader_of_(msg.v)) return;
+  if (msg.x.empty()) return;
+
+  std::set<ProcessId> voters;
+  for (const auto& record : msg.votes) {
+    if (!voters.insert(record.voter).second) return;  // duplicate voter
+    if (!validate_vote_record(verifier_, cfg_, leader_of_, record, msg.v)) {
+      return;
+    }
+  }
+  if (!selection_admits(cfg_, msg.votes, leader_of_, msg.x)) {
+    log_debug(who(id_), "CertReq from " + std::to_string(from) +
+                            " does not justify " + msg.x.to_string());
+    return;
+  }
+
+  CertAckMsg ack;
+  ack.v = msg.v;
+  ack.x = msg.x;
+  ack.phi_ca = signer_.sign(kDomCertAck, certack_preimage(msg.x, msg.v));
+  transport_.send(from, ack.serialize());
+}
+
+void Replica::handle_cert_ack(ProcessId from, const CertAckMsg& msg) {
+  if (msg.v != view_ || !leader_state_) return;
+  LeaderState& st = *leader_state_;
+  if (!st.cert_requested || st.proposed) return;
+  if (msg.x != st.selected) return;
+  if (!verifier_.verify(from, kDomCertAck, certack_preimage(msg.x, msg.v),
+                        msg.phi_ca)) {
+    return;
+  }
+  st.cert_acks.emplace(from, msg.phi_ca);
+  if (st.cert_acks.size() < cfg_.cert_quorum()) return;
+
+  ProgressCert sigma;
+  for (const auto& [signer, sig] : st.cert_acks) {
+    sigma.acks.push_back(SignatureEntry{signer, sig});
+    if (sigma.acks.size() == cfg_.cert_quorum()) break;
+  }
+  st.proposed = true;
+  send_proposal(st.selected, std::move(sigma));
+}
+
+// --- Decision ---------------------------------------------------------------
+
+void Replica::decide(const Value& x, View v, bool slow) {
+  if (decision_) return;
+  decision_ = DecisionRecord{x, v, slow};
+  log_info(who(id_), "decided " + x.to_string() + " in view " +
+                         std::to_string(v) + (slow ? " (slow path)" : ""));
+  if (on_decide_) on_decide_(*decision_);
+}
+
+}  // namespace fastbft::consensus

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "consensus/messages.hpp"
+#include "consensus/selection.hpp"
+#include "net/transport.hpp"
+
+/// \file replica.hpp
+/// Single-shot consensus engine implementing the paper's protocol: the
+/// fast path (propose/ack, Section 3.1), the optional slow path (signed
+/// acks + commit certificates, Appendix A) and the view-change protocol
+/// (vote collection, selection, CertReq/CertAck, Section 3.2).
+///
+/// The replica is transport- and scheduler-agnostic: it reacts to
+/// `on_message` and to `enter_view` notifications from an external view
+/// synchronizer (see viewsync::Synchronizer), and emits messages through a
+/// net::Transport. This keeps the protocol logic deterministic and
+/// independently testable.
+
+namespace fastbft::consensus {
+
+struct ReplicaOptions {
+  /// Enables the Appendix-A slow path (signed acks, commit certificates,
+  /// Commit messages). The vanilla Section-3 protocol runs with this off.
+  bool slow_path = true;
+
+  /// Ablation knob (bench_ablation): send CertReq to all n processes
+  /// instead of the paper's minimal 2f + 1. Same liveness (f + 1 correct
+  /// responders either way), more traffic, marginally faster certificate
+  /// assembly under faults.
+  bool cert_req_broadcast = false;
+};
+
+/// Everything a replica observed about one decision; surfaced to the
+/// runtime layer for latency/metrics accounting.
+struct DecisionRecord {
+  Value value;
+  View view = kNoView;
+  bool via_slow_path = false;
+};
+
+class Replica {
+ public:
+  using DecideCallback = std::function<void(const DecisionRecord&)>;
+
+  Replica(QuorumConfig cfg, ProcessId id, Value input,
+          net::Transport& transport, crypto::Signer signer,
+          crypto::Verifier verifier, LeaderFn leader_of,
+          DecideCallback on_decide, ReplicaOptions options = {});
+
+  /// Kicks off view 1: the first leader proposes its input immediately.
+  void start();
+
+  /// Handles one wire message. `from` is the authenticated channel
+  /// identity (the simulated network guarantees it, matching the model).
+  void on_message(ProcessId from, const Bytes& payload);
+
+  /// View-synchronizer notification. Views are monotone; stale calls are
+  /// ignored.
+  void enter_view(View v);
+
+  // --- Introspection (tests, metrics) ---------------------------------------
+
+  View view() const { return view_; }
+  const std::optional<DecisionRecord>& decision() const { return decision_; }
+  const std::optional<Vote>& current_vote() const { return vote_; }
+  const std::optional<CommitCert>& latest_cc() const { return latest_cc_; }
+  const QuorumConfig& config() const { return cfg_; }
+  ProcessId id() const { return id_; }
+  const Value& input() const { return input_; }
+
+  /// Size in bytes of the largest progress certificate this replica has
+  /// ever accepted in a proposal (experiment E4).
+  std::size_t max_cert_bytes_seen() const { return max_cert_bytes_seen_; }
+
+ private:
+  struct LeaderState {
+    View v = kNoView;
+    std::map<ProcessId, VoteRecord> votes;
+    bool cert_requested = false;
+    Value selected;
+    std::map<ProcessId, crypto::Signature> cert_acks;
+    bool proposed = false;
+  };
+
+  using ValueKey = std::pair<View, Bytes>;
+
+  void handle(ProcessId from, const Message& msg);
+  void handle_propose(ProcessId from, const ProposeMsg& msg);
+  void handle_ack(ProcessId from, const AckMsg& msg);
+  void handle_ack_sig(ProcessId from, const AckSigMsg& msg);
+  void handle_commit(ProcessId from, const CommitMsg& msg);
+  void handle_vote(ProcessId from, const VoteMsg& msg);
+  void handle_cert_req(ProcessId from, const CertReqMsg& msg);
+  void handle_cert_ack(ProcessId from, const CertAckMsg& msg);
+
+  /// Leader: re-runs selection on the collected votes and, once it
+  /// resolves, starts the certification round (or proposes directly when
+  /// bounded certificates are disabled).
+  void try_select();
+
+  /// Leader: broadcasts propose(x, v, sigma, tau).
+  void send_proposal(const Value& x, ProgressCert sigma);
+
+  void send_vote_to(ProcessId leader, View v);
+  void decide(const Value& x, View v, bool slow);
+  void maybe_assemble_commit_cert(const ValueKey& key);
+  void adopt_cc(const CommitCert& cc);
+
+  bool buffer_if_future(ProcessId from, const Message& msg, const Bytes& payload);
+  void replay_buffered();
+
+  static ValueKey key_of(View v, const Value& x) {
+    return {v, x.bytes()};
+  }
+
+  QuorumConfig cfg_;
+  ProcessId id_;
+  Value input_;
+  net::Transport& transport_;
+  crypto::Signer signer_;
+  crypto::Verifier verifier_;
+  LeaderFn leader_of_;
+  DecideCallback on_decide_;
+  ReplicaOptions options_;
+
+  View view_ = 1;
+  std::optional<Vote> vote_;
+  std::optional<CommitCert> latest_cc_;
+  std::optional<DecisionRecord> decision_;
+
+  /// Views in which a proposal was already accepted (first one wins).
+  std::set<View> proposal_accepted_;
+
+  /// Fast-path ack bookkeeping: (view, value) -> ackers.
+  std::map<ValueKey, std::set<ProcessId>> acks_;
+
+  /// Slow-path signed acks: (view, value) -> signer -> signature.
+  std::map<ValueKey, std::map<ProcessId, crypto::Signature>> ack_sigs_;
+
+  /// Slow-path Commit senders: (view, value) -> senders with a valid cc.
+  std::map<ValueKey, std::set<ProcessId>> commit_senders_;
+
+  /// (view, value) pairs for which we already broadcast Commit.
+  std::set<ValueKey> commit_sent_;
+
+  std::optional<LeaderState> leader_state_;
+
+  /// Messages for views we have not entered yet, replayed on enter_view.
+  std::map<View, std::vector<std::pair<ProcessId, Bytes>>> future_buffer_;
+  std::size_t future_buffered_total_ = 0;
+
+  std::size_t max_cert_bytes_seen_ = 0;
+};
+
+}  // namespace fastbft::consensus

@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+#include "common/codec.hpp"
+
+namespace fastbft::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  Bytes k = key;
+  if (k.size() > kBlockSize) {
+    k = sha256_bytes(k);
+  }
+  k.resize(kBlockSize, 0);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+Bytes derive_key(const Bytes& key, const std::string& label,
+                 std::uint64_t index) {
+  Encoder enc;
+  enc.str(label);
+  enc.u64(index);
+  Digest d = hmac_sha256(key, std::move(enc).take());
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace fastbft::crypto

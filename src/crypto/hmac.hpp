@@ -1,0 +1,19 @@
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+/// \file hmac.hpp
+/// HMAC-SHA-256 (RFC 2104). Used both as the MAC underlying the simulation
+/// signature scheme and as a keyed PRF for key derivation.
+
+namespace fastbft::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+Digest hmac_sha256(const Bytes& key, const Bytes& message);
+
+/// Derives a subkey: HMAC(key, label || u64(index)). Deterministic, so the
+/// whole cluster key material is reproducible from one master seed.
+Bytes derive_key(const Bytes& key, const std::string& label,
+                 std::uint64_t index);
+
+}  // namespace fastbft::crypto

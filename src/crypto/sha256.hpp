@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+/// \file sha256.hpp
+/// From-scratch SHA-256 (FIPS 180-4). Implemented locally because the build
+/// environment is offline and the library must not depend on a system
+/// OpenSSL. Verified against the NIST test vectors in tests/test_crypto.cpp.
+
+namespace fastbft::crypto {
+
+inline constexpr std::size_t kDigestSize = 32;
+using Digest = std::array<std::uint8_t, kDigestSize>;
+
+/// Incremental hasher; the usual init/update/final interface.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without `reset()`.
+  Digest finalize();
+
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t bit_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(const Bytes& data);
+
+/// Digest as a Bytes buffer (handy for codec embedding).
+Bytes sha256_bytes(const Bytes& data);
+
+}  // namespace fastbft::crypto

@@ -1,0 +1,52 @@
+#include "crypto/signer.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::crypto {
+
+std::optional<Signature> Signature::decode(Decoder& dec) {
+  Bytes b = dec.bytes();
+  if (!dec.ok()) return std::nullopt;
+  return Signature{std::move(b)};
+}
+
+KeyStore::KeyStore(std::uint64_t master_seed, std::uint32_t num_processes) {
+  Encoder enc;
+  enc.str("fastbft-master-seed");
+  enc.u64(master_seed);
+  Bytes master = sha256_bytes(std::move(enc).take());
+  keys_.reserve(num_processes);
+  for (std::uint32_t i = 0; i < num_processes; ++i) {
+    keys_.push_back(derive_key(master, "process-key", i));
+  }
+}
+
+const Bytes& KeyStore::secret_of(ProcessId id) const {
+  FASTBFT_ASSERT(id < keys_.size(), "process id out of range in KeyStore");
+  return keys_[id];
+}
+
+namespace {
+Bytes signing_preimage(const std::string& domain, const Bytes& message) {
+  Encoder enc;
+  enc.str(domain);
+  enc.bytes(message);
+  return std::move(enc).take();
+}
+}  // namespace
+
+Signature Signer::sign(const std::string& domain, const Bytes& message) const {
+  Digest d = hmac_sha256(keys_->secret_of(id_), signing_preimage(domain, message));
+  return Signature{Bytes(d.begin(), d.end())};
+}
+
+bool Verifier::verify(ProcessId signer, const std::string& domain,
+                      const Bytes& message, const Signature& sig) const {
+  if (signer >= keys_->size()) return false;
+  if (sig.bytes.size() != kSignatureSize) return false;
+  Digest d =
+      hmac_sha256(keys_->secret_of(signer), signing_preimage(domain, message));
+  return bytes_equal(sig.bytes, Bytes(d.begin(), d.end()));
+}
+
+}  // namespace fastbft::crypto

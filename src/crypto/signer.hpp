@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "crypto/hmac.hpp"
+
+/// \file signer.hpp
+/// Signature scheme used by the protocols.
+///
+/// Substitution note (see DESIGN.md §2): the paper assumes standard digital
+/// signatures with a PKI. This library implements *simulation signatures*:
+/// a cluster `KeyStore` derives one 32-byte secret per process from a master
+/// seed, and a signature is HMAC-SHA-256(secret_i, domain ‖ message).
+/// Verification re-derives the per-process secret. Within the simulated
+/// adversary model signatures are unforgeable by construction — none of the
+/// implemented Byzantine behaviours fabricate another process's signature,
+/// mirroring the paper's computationally bounded adversary. Signature size
+/// (32 bytes) and constant-time verification cost are realistic, so the
+/// certificate-size experiment (E4) is meaningful.
+///
+/// Swapping in a real scheme (e.g. Ed25519) only requires another
+/// implementation of Signer/Verifier.
+
+namespace fastbft::crypto {
+
+inline constexpr std::size_t kSignatureSize = kDigestSize;
+
+/// A detached signature. Wraps bytes so the codec and comparisons are
+/// uniform with other protocol artifacts.
+struct Signature {
+  Bytes bytes;
+
+  bool empty() const { return bytes.empty(); }
+
+  void encode(Encoder& enc) const { enc.bytes(bytes); }
+  static std::optional<Signature> decode(Decoder& dec);
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Holds the per-cluster key material. One instance is shared by all
+/// simulated processes of a cluster (the "trusted setup").
+class KeyStore {
+ public:
+  KeyStore(std::uint64_t master_seed, std::uint32_t num_processes);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(keys_.size()); }
+  const Bytes& secret_of(ProcessId id) const;
+
+ private:
+  std::vector<Bytes> keys_;
+};
+
+/// Signing handle bound to one process identity.
+class Signer {
+ public:
+  Signer(std::shared_ptr<const KeyStore> keys, ProcessId id)
+      : keys_(std::move(keys)), id_(id) {}
+
+  ProcessId id() const { return id_; }
+
+  /// Signs `message` under a domain-separation string; the domain prevents
+  /// cross-protocol replay of signatures (e.g. a VOTE signature being
+  /// presented as a CERTACK).
+  Signature sign(const std::string& domain, const Bytes& message) const;
+
+ private:
+  std::shared_ptr<const KeyStore> keys_;
+  ProcessId id_;
+};
+
+/// Verification handle; any process can verify any other process's
+/// signatures.
+class Verifier {
+ public:
+  explicit Verifier(std::shared_ptr<const KeyStore> keys)
+      : keys_(std::move(keys)) {}
+
+  bool verify(ProcessId signer, const std::string& domain,
+              const Bytes& message, const Signature& sig) const;
+
+ private:
+  std::shared_ptr<const KeyStore> keys_;
+};
+
+}  // namespace fastbft::crypto

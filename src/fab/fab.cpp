@@ -1,0 +1,396 @@
+#include "fab/fab.hpp"
+
+#include "common/assert.hpp"
+#include "net/tags.hpp"
+#include "viewsync/synchronizer.hpp"
+
+namespace fastbft::fab {
+
+namespace {
+constexpr const char* kDomFabPropose = "fab-propose";
+constexpr const char* kDomFabVote = "fab-vote";
+}  // namespace
+
+FabConfig FabConfig::create(std::uint32_t n, std::uint32_t f, std::uint32_t t) {
+  FASTBFT_ASSERT(f >= 1 && t >= 1 && t <= f && n >= min_processes(f, t),
+                 "FaB Paxos requires n >= 3f + 2t + 1");
+  return FabConfig{n, f, t};
+}
+
+// --- Codecs -------------------------------------------------------------------
+
+void AcceptedEntry::encode(Encoder& enc) const {
+  x.encode(enc);
+  enc.u64(u);
+  tau.encode(enc);
+}
+
+std::optional<AcceptedEntry> AcceptedEntry::decode(Decoder& dec) {
+  AcceptedEntry e;
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  e.x = std::move(*x);
+  e.u = dec.u64();
+  auto tau = crypto::Signature::decode(dec);
+  if (!tau) return std::nullopt;
+  e.tau = std::move(*tau);
+  return e;
+}
+
+void FabVoteRecord::encode(Encoder& enc) const {
+  enc.u32(voter);
+  enc.boolean(accepted.has_value());
+  if (accepted) accepted->encode(enc);
+  phi.encode(enc);
+}
+
+std::optional<FabVoteRecord> FabVoteRecord::decode(Decoder& dec) {
+  FabVoteRecord r;
+  r.voter = dec.u32();
+  bool has = dec.boolean();
+  if (!dec.ok()) return std::nullopt;
+  if (has) {
+    auto e = AcceptedEntry::decode(dec);
+    if (!e) return std::nullopt;
+    r.accepted = std::move(*e);
+  }
+  auto phi = crypto::Signature::decode(dec);
+  if (!phi) return std::nullopt;
+  r.phi = std::move(*phi);
+  return r;
+}
+
+Bytes FabProposeMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kFabPropose);
+  enc.u64(v);
+  x.encode(enc);
+  tau.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(justification.size()));
+  for (const auto& r : justification) r.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<FabProposeMsg> FabProposeMsg::decode(Decoder& dec) {
+  FabProposeMsg m;
+  m.v = dec.u64();
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  m.x = std::move(*x);
+  auto tau = crypto::Signature::decode(dec);
+  if (!tau) return std::nullopt;
+  m.tau = std::move(*tau);
+  std::uint32_t count = dec.u32();
+  if (!dec.ok() || count > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto r = FabVoteRecord::decode(dec);
+    if (!r) return std::nullopt;
+    m.justification.push_back(std::move(*r));
+  }
+  return m;
+}
+
+Bytes FabAcceptMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kFabAccept);
+  enc.u64(v);
+  x.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<FabAcceptMsg> FabAcceptMsg::decode(Decoder& dec) {
+  FabAcceptMsg m;
+  m.v = dec.u64();
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  m.x = std::move(*x);
+  return m;
+}
+
+Bytes FabRecoveryVoteMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kFabRecoveryVote);
+  enc.u64(v);
+  record.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<FabRecoveryVoteMsg> FabRecoveryVoteMsg::decode(Decoder& dec) {
+  FabRecoveryVoteMsg m;
+  m.v = dec.u64();
+  auto r = FabVoteRecord::decode(dec);
+  if (!r) return std::nullopt;
+  m.record = std::move(*r);
+  return m;
+}
+
+// --- Preimages & selection -------------------------------------------------------
+
+Bytes fab_propose_preimage(const Value& x, View v) {
+  Encoder enc;
+  x.encode(enc);
+  enc.u64(v);
+  return std::move(enc).take();
+}
+
+Bytes fab_vote_preimage(const std::optional<AcceptedEntry>& accepted, View v) {
+  Encoder enc;
+  enc.boolean(accepted.has_value());
+  if (accepted) accepted->encode(enc);
+  enc.u64(v);
+  return std::move(enc).take();
+}
+
+std::optional<Value> fab_select(const FabConfig& cfg,
+                                const std::vector<FabVoteRecord>& records) {
+  View w = kNoView;
+  for (const auto& r : records) {
+    if (r.accepted) w = std::max(w, r.accepted->u);
+  }
+  if (w == kNoView) return std::nullopt;
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& r : records) {
+    if (r.accepted && r.accepted->u == w) counts[r.accepted->x] += 1;
+  }
+  for (const auto& [value, count] : counts) {
+    if (count >= cfg.forced_threshold()) return value;
+  }
+  return std::nullopt;
+}
+
+// --- Replica ----------------------------------------------------------------------
+
+FabReplica::FabReplica(FabConfig cfg, ProcessId id, Value input,
+                       net::Transport& transport, crypto::Signer signer,
+                       crypto::Verifier verifier, consensus::LeaderFn leader_of,
+                       DecideCallback on_decide)
+    : cfg_(cfg),
+      id_(id),
+      input_(std::move(input)),
+      transport_(transport),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      leader_of_(std::move(leader_of)),
+      on_decide_(std::move(on_decide)) {}
+
+void FabReplica::start() {
+  if (leader_of_(1) == id_) {
+    FabProposeMsg msg;
+    msg.v = 1;
+    msg.x = input_;
+    msg.tau = signer_.sign(kDomFabPropose, fab_propose_preimage(input_, 1));
+    transport_.broadcast(msg.serialize());
+  }
+}
+
+void FabReplica::on_message(ProcessId from, const Bytes& payload) {
+  if (payload.empty()) return;
+  std::uint8_t tag = payload[0];
+  Decoder dec(payload);
+  dec.u8();
+  switch (tag) {
+    case net::tags::kFabPropose: {
+      auto m = FabProposeMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      if (buffer_if_future(from, payload, m->v)) return;
+      handle_propose(from, *m);
+      return;
+    }
+    case net::tags::kFabAccept: {
+      auto m = FabAcceptMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      handle_accept(from, *m);
+      return;
+    }
+    case net::tags::kFabRecoveryVote: {
+      auto m = FabRecoveryVoteMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      if (buffer_if_future(from, payload, m->v)) return;
+      handle_recovery_vote(from, *m);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool FabReplica::buffer_if_future(ProcessId from, const Bytes& payload,
+                                  View v) {
+  if (v <= view_) return false;
+  if (future_buffer_.size() > 10'000) return true;
+  future_buffer_[v].emplace_back(from, payload);
+  return true;
+}
+
+void FabReplica::replay_buffered() {
+  while (!future_buffer_.empty() && future_buffer_.begin()->first < view_) {
+    future_buffer_.erase(future_buffer_.begin());
+  }
+  auto it = future_buffer_.find(view_);
+  if (it == future_buffer_.end()) return;
+  auto pending = std::move(it->second);
+  future_buffer_.erase(it);
+  for (auto& [from, payload] : pending) on_message(from, payload);
+}
+
+void FabReplica::handle_propose(ProcessId from, const FabProposeMsg& msg) {
+  if (msg.v != view_) return;
+  if (from != leader_of_(msg.v)) return;
+  if (accepted_in_.contains(msg.v)) return;
+  if (msg.x.empty()) return;
+  if (!verifier_.verify(from, kDomFabPropose,
+                        fab_propose_preimage(msg.x, msg.v), msg.tau)) {
+    return;
+  }
+  if (msg.v > 1) {
+    std::set<ProcessId> voters;
+    for (const auto& r : msg.justification) {
+      if (!voters.insert(r.voter).second) return;
+      if (!validate_record(r, msg.v)) return;
+    }
+    if (voters.size() < cfg_.vote_quorum()) return;
+    auto forced = fab_select(cfg_, msg.justification);
+    if (forced.has_value() && !(*forced == msg.x)) return;
+  } else if (!msg.justification.empty()) {
+    return;
+  }
+
+  accepted_in_.insert(msg.v);
+  accepted_ = AcceptedEntry{msg.x, msg.v, msg.tau};
+
+  FabAcceptMsg accept;
+  accept.v = msg.v;
+  accept.x = msg.x;
+  transport_.broadcast(accept.serialize());
+}
+
+void FabReplica::handle_accept(ProcessId from, const FabAcceptMsg& msg) {
+  if (msg.x.empty() || msg.v == kNoView) return;
+  ValueKey key{msg.v, msg.x.bytes()};
+  auto& senders = accepts_[key];
+  senders.insert(from);
+  if (senders.size() >= cfg_.fast_quorum() && !decision_) {
+    decision_ = consensus::DecisionRecord{msg.x, msg.v, false};
+    if (on_decide_) on_decide_(*decision_);
+  }
+}
+
+bool FabReplica::validate_record(const FabVoteRecord& record, View v) const {
+  if (record.voter >= cfg_.n) return false;
+  if (!verifier_.verify(record.voter, kDomFabVote,
+                        fab_vote_preimage(record.accepted, v), record.phi)) {
+    return false;
+  }
+  if (record.accepted) {
+    if (record.accepted->u < 1 || record.accepted->u >= v) return false;
+    if (record.accepted->x.empty()) return false;
+    if (!verifier_.verify(leader_of_(record.accepted->u), kDomFabPropose,
+                          fab_propose_preimage(record.accepted->x,
+                                               record.accepted->u),
+                          record.accepted->tau)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FabReplica::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  leader_state_.reset();
+  ProcessId leader = leader_of_(v);
+  if (leader == id_) leader_state_.emplace();
+
+  FabRecoveryVoteMsg m;
+  m.v = v;
+  m.record.voter = id_;
+  m.record.accepted = accepted_;
+  m.record.phi = signer_.sign(kDomFabVote, fab_vote_preimage(accepted_, v));
+  transport_.send(leader, m.serialize());
+  replay_buffered();
+}
+
+void FabReplica::handle_recovery_vote(ProcessId from,
+                                      const FabRecoveryVoteMsg& msg) {
+  if (msg.v != view_ || !leader_state_ || leader_state_->proposed) return;
+  if (msg.record.voter != from) return;
+  if (!validate_record(msg.record, msg.v)) return;
+  leader_state_->records.emplace(from, msg.record);
+  try_propose();
+}
+
+void FabReplica::try_propose() {
+  LeaderState& st = *leader_state_;
+  if (st.proposed || st.records.size() < cfg_.vote_quorum()) return;
+  st.proposed = true;
+  std::vector<FabVoteRecord> records;
+  for (const auto& [voter, r] : st.records) records.push_back(r);
+  Value x = fab_select(cfg_, records).value_or(input_);
+
+  FabProposeMsg msg;
+  msg.v = view_;
+  msg.x = x;
+  msg.tau = signer_.sign(kDomFabPropose, fab_propose_preimage(x, view_));
+  msg.justification = std::move(records);
+  transport_.broadcast(msg.serialize());
+}
+
+// --- Cluster integration -------------------------------------------------------------
+
+namespace {
+
+class FabNode final : public runtime::IProcess {
+ public:
+  FabNode(const runtime::ProcessContext& ctx,
+          const runtime::NodeOptions& options,
+          runtime::Node::DecideCallback on_decide)
+      : endpoint_(ctx.network->endpoint(ctx.id)),
+        replica_(
+            FabConfig::create(ctx.cfg.n, ctx.cfg.f, ctx.cfg.t), ctx.id,
+            ctx.input, *endpoint_, crypto::Signer(ctx.keys, ctx.id),
+            crypto::Verifier(ctx.keys), ctx.leader_of,
+            [this, id = ctx.id, cb = std::move(on_decide)](
+                const consensus::DecisionRecord& record) {
+              sync_.stop();
+              if (cb) cb(id, record);
+            }),
+        sync_(sync_config(options, ctx.cfg.f), ctx.id, *endpoint_,
+              *ctx.scheduler, [this](View v) { replica_.enter_view(v); }) {}
+
+  void start() override {
+    sync_.start();
+    replica_.start();
+  }
+
+  void on_message(ProcessId from, const Bytes& payload) override {
+    if (!payload.empty() && payload[0] == net::tags::kWish) {
+      sync_.on_message(from, payload);
+      return;
+    }
+    replica_.on_message(from, payload);
+  }
+
+ private:
+  static viewsync::SynchronizerConfig sync_config(
+      const runtime::NodeOptions& options, std::uint32_t f) {
+    viewsync::SynchronizerConfig cfg = options.sync;
+    cfg.f = f;
+    return cfg;
+  }
+
+  std::unique_ptr<net::SimEndpoint> endpoint_;
+  FabReplica replica_;
+  viewsync::Synchronizer sync_;
+};
+
+}  // namespace
+
+runtime::NodeFactory node_factory() {
+  return [](const runtime::ProcessContext& ctx,
+            const runtime::NodeOptions& options,
+            runtime::Node::DecideCallback on_decide) {
+    return std::make_unique<FabNode>(ctx, options, std::move(on_decide));
+  };
+}
+
+}  // namespace fastbft::fab

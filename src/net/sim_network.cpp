@@ -1,0 +1,106 @@
+#include "net/sim_network.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace fastbft::net {
+
+void SimEndpoint::send(ProcessId to, Bytes payload) {
+  net_.send(self_, to, std::move(payload));
+}
+
+std::uint32_t SimEndpoint::cluster_size() const { return net_.size(); }
+
+SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
+                       SimNetworkConfig config)
+    : sched_(sched),
+      n_(n),
+      config_(config),
+      rng_(config.seed ^ 0x6e657477ULL),
+      handlers_(n),
+      disconnected_(n, false) {
+  FASTBFT_ASSERT(config_.min_delay >= 1 && config_.min_delay <= config_.delta,
+                 "min_delay must be in [1, delta]");
+  FASTBFT_ASSERT(config_.pre_gst_max_delay >= config_.delta,
+                 "pre-GST delays cannot undercut delta");
+}
+
+void SimNetwork::attach(ProcessId id, ReceiveHandler handler) {
+  FASTBFT_ASSERT(id < n_, "attach: id out of range");
+  handlers_[id] = std::move(handler);
+}
+
+std::unique_ptr<SimEndpoint> SimNetwork::endpoint(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "endpoint: id out of range");
+  return std::make_unique<SimEndpoint>(*this, id);
+}
+
+void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+  FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
+  if (disconnected_[from] || disconnected_[to]) return;
+
+  stats_.record_send(payload);
+  Envelope env{from, to, std::move(payload)};
+  TimePoint now = sched_.now();
+
+  if (script_) {
+    if (auto scripted = script_(env, now)) {
+      if (*scripted >= kTimeInfinity) {
+        if (observer_) observer_(env, now, kTimeInfinity);
+        parked_.push_back(std::move(env));
+        return;
+      }
+      FASTBFT_ASSERT(*scripted >= now, "script scheduled into the past");
+      if (observer_) observer_(env, now, *scripted);
+      deliver_at(*scripted, std::move(env));
+      return;
+    }
+  }
+
+  if (from == to) {
+    // Local hand-off: instantaneous, consistent with the paper's
+    // "local computation takes no time".
+    if (observer_) observer_(env, now, now);
+    deliver_at(now, std::move(env));
+    return;
+  }
+
+  Duration delay;
+  if (now < config_.gst) {
+    delay = rng_.next_in_range(config_.delta, config_.pre_gst_max_delay);
+    // A message sent just before GST must still respect eventual synchrony:
+    // it is delivered within delta after GST at the latest.
+    TimePoint latest = config_.gst + config_.delta;
+    if (now + delay > latest) delay = latest - now;
+  } else {
+    delay = rng_.next_in_range(config_.min_delay, config_.delta);
+  }
+  if (observer_) observer_(env, now, now + delay);
+  deliver_at(now + delay, std::move(env));
+}
+
+void SimNetwork::deliver_at(TimePoint at, Envelope env) {
+  sched_.schedule_at(at, [this, env = std::move(env)]() mutable {
+    if (disconnected_[env.to]) return;
+    ++delivered_;
+    FASTBFT_ASSERT(static_cast<bool>(handlers_[env.to]),
+                   "message delivered to a process with no handler");
+    handlers_[env.to](env.from, env.payload);
+  });
+}
+
+void SimNetwork::disconnect(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "disconnect: id out of range");
+  disconnected_[id] = true;
+}
+
+void SimNetwork::flush_parked() {
+  std::vector<Envelope> parked = std::move(parked_);
+  parked_.clear();
+  TimePoint at = sched_.now() + config_.delta;
+  for (Envelope& env : parked) {
+    deliver_at(at, std::move(env));
+  }
+}
+
+}  // namespace fastbft::net

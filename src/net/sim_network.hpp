@@ -1,0 +1,126 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "net/transport.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+/// \file sim_network.hpp
+/// Deterministic simulated network implementing the paper's partially
+/// synchronous model: reliable authenticated point-to-point channels whose
+/// delays are adversary-controlled before GST and bounded by Delta after
+/// GST. Self-sends are delivered with zero delay (local computation is
+/// treated as instantaneous, matching the paper's convention).
+///
+/// Two levels of control are exposed:
+///  * a stochastic model (min/max delay post-GST, larger pre-GST delays,
+///    seeded jitter) used by the property tests and benchmarks, and
+///  * a per-message `DeliveryScript` hook with which a test can dictate the
+///    exact delivery time of any message — this is how the Theorem 4.5
+///    lower-bound attack stages its five-group schedule.
+
+namespace fastbft::net {
+
+struct SimNetworkConfig {
+  /// The synchrony bound Delta (ticks). After GST every message sent at s is
+  /// delivered at some point in (s, s + delta].
+  Duration delta = 100;
+
+  /// Global stabilization time. Before GST delays are drawn from
+  /// [delta, pre_gst_max_delay] (still reliable — nothing is lost).
+  TimePoint gst = 0;
+  Duration pre_gst_max_delay = 2000;
+
+  /// Post-GST jitter: delays uniform in [min_delay, delta]. min_delay = delta
+  /// gives the "lock-step" executions used for latency measurements.
+  Duration min_delay = 100;
+
+  std::uint64_t seed = 1;
+};
+
+class SimNetwork;
+
+/// Per-process transport endpoint handed to protocol engines.
+class SimEndpoint final : public Transport {
+ public:
+  SimEndpoint(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
+
+  void send(ProcessId to, Bytes payload) override;
+  std::uint32_t cluster_size() const override;
+  ProcessId self() const override { return self_; }
+
+ private:
+  SimNetwork& net_;
+  ProcessId self_;
+};
+
+class SimNetwork {
+ public:
+  /// Returning nullopt defers to the stochastic model; returning a time
+  /// schedules delivery exactly then (must be > now for remote, >= now for
+  /// self sends). Returning `kTimeInfinity` parks the message until
+  /// `flush_parked` (used to model "delayed until after T" schedules; the
+  /// channel stays reliable because the test eventually flushes).
+  using DeliveryScript =
+      std::function<std::optional<TimePoint>(const Envelope&, TimePoint now)>;
+
+  /// Passive observer invoked for every message at send time with its
+  /// scheduled delivery time (kTimeInfinity for parked messages). Used by
+  /// the trace recorder (src/trace) to render message-flow diagrams.
+  using Observer = std::function<void(const Envelope&, TimePoint sent,
+                                      TimePoint delivered)>;
+
+  SimNetwork(sim::Scheduler& sched, std::uint32_t n, SimNetworkConfig config);
+
+  /// Registers the receive handler for process `id`. Must be set before any
+  /// message addressed to `id` is delivered.
+  void attach(ProcessId id, ReceiveHandler handler);
+
+  /// Creates the transport endpoint for process `id`.
+  std::unique_ptr<SimEndpoint> endpoint(ProcessId id);
+
+  void send(ProcessId from, ProcessId to, Bytes payload);
+
+  /// Cuts delivery of everything sent *to or from* `id` (process crash at
+  /// the network level: messages already in flight still arrive, nothing
+  /// new is accepted). Used to model fail-stop behaviours.
+  void disconnect(ProcessId id);
+  bool is_disconnected(ProcessId id) const { return disconnected_[id]; }
+
+  void set_script(DeliveryScript script) { script_ = std::move(script); }
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Releases all messages parked by a script at `kTimeInfinity`; they are
+  /// delivered `delta` after the call.
+  void flush_parked();
+
+  std::uint32_t size() const { return n_; }
+  const NetworkStats& stats() const { return stats_; }
+  NetworkStats& stats() { return stats_; }
+  sim::Scheduler& scheduler() { return sched_; }
+  const SimNetworkConfig& config() const { return config_; }
+
+  std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  void deliver_at(TimePoint at, Envelope env);
+
+  sim::Scheduler& sched_;
+  std::uint32_t n_;
+  SimNetworkConfig config_;
+  sim::Rng rng_;
+  std::vector<ReceiveHandler> handlers_;
+  std::vector<bool> disconnected_;
+  std::vector<Envelope> parked_;
+  DeliveryScript script_;
+  Observer observer_;
+  NetworkStats stats_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace fastbft::net

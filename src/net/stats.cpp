@@ -1,0 +1,67 @@
+#include "net/stats.hpp"
+
+#include <sstream>
+
+#include "net/tags.hpp"
+
+namespace fastbft::net {
+
+void NetworkStats::record_send(const Bytes& payload) {
+  std::uint8_t tag = payload.empty() ? 0xff : payload[0];
+  TypeStats& ts = by_type_[tag];
+  ts.count += 1;
+  ts.bytes += payload.size();
+  total_messages_ += 1;
+  total_bytes_ += payload.size();
+}
+
+std::uint64_t NetworkStats::messages_of(std::uint8_t tag) const {
+  auto it = by_type_.find(tag);
+  return it == by_type_.end() ? 0 : it->second.count;
+}
+
+void NetworkStats::reset() {
+  by_type_.clear();
+  total_messages_ = 0;
+  total_bytes_ = 0;
+}
+
+std::string NetworkStats::summary() const {
+  std::ostringstream out;
+  out << "total: " << total_messages_ << " msgs, " << total_bytes_ << " bytes\n";
+  for (const auto& [tag, ts] : by_type_) {
+    out << "  " << tag_name(tag) << ": " << ts.count << " msgs, " << ts.bytes
+        << " bytes\n";
+  }
+  return out.str();
+}
+
+std::string tag_name(std::uint8_t tag) {
+  switch (tag) {
+    case tags::kPropose: return "PROPOSE";
+    case tags::kAck: return "ACK";
+    case tags::kAckSig: return "ACK_SIG";
+    case tags::kCommit: return "COMMIT";
+    case tags::kVote: return "VOTE";
+    case tags::kCertReq: return "CERT_REQ";
+    case tags::kCertAck: return "CERT_ACK";
+    case tags::kWish: return "WISH";
+    case tags::kPbftPrePrepare: return "PBFT_PRE_PREPARE";
+    case tags::kPbftPrepare: return "PBFT_PREPARE";
+    case tags::kPbftCommit: return "PBFT_COMMIT";
+    case tags::kPbftViewChange: return "PBFT_VIEW_CHANGE";
+    case tags::kPbftNewView: return "PBFT_NEW_VIEW";
+    case tags::kFabPropose: return "FAB_PROPOSE";
+    case tags::kFabAccept: return "FAB_ACCEPT";
+    case tags::kFabRecoveryVote: return "FAB_RECOVERY_VOTE";
+    case tags::kSmrRequest: return "SMR_REQUEST";
+    case tags::kSmrWrapped: return "SMR_WRAPPED";
+    default: {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "TAG_0x%02x", tag);
+      return buf;
+    }
+  }
+}
+
+}  // namespace fastbft::net

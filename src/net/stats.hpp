@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+
+/// \file stats.hpp
+/// Per-message-type traffic accounting. The first payload byte is the type
+/// tag; the pretty-printer maps known tags to names so benchmark output is
+/// readable.
+
+namespace fastbft::net {
+
+struct TypeStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+class NetworkStats {
+ public:
+  void record_send(const Bytes& payload);
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  const std::map<std::uint8_t, TypeStats>& by_type() const { return by_type_; }
+
+  /// Messages of one tag (0 if none seen).
+  std::uint64_t messages_of(std::uint8_t tag) const;
+
+  void reset();
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+
+ private:
+  std::map<std::uint8_t, TypeStats> by_type_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Maps a payload tag to a short name ("PROPOSE", "ACK", ...). Unknown tags
+/// render as hex.
+std::string tag_name(std::uint8_t tag);
+
+}  // namespace fastbft::net

@@ -1,0 +1,107 @@
+#include "net/threaded_network.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::net {
+
+void ThreadedEndpoint::send(ProcessId to, Bytes payload) {
+  net_.send(self_, to, std::move(payload));
+}
+
+std::uint32_t ThreadedEndpoint::cluster_size() const { return net_.size(); }
+
+ThreadedNetwork::ThreadedNetwork(std::uint32_t n)
+    : n_(n), handlers_(n), disconnected_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+    disconnected_[i].store(false);
+  }
+}
+
+ThreadedNetwork::~ThreadedNetwork() { stop(); }
+
+void ThreadedNetwork::attach(ProcessId id, ReceiveHandler handler) {
+  FASTBFT_ASSERT(id < n_, "attach: id out of range");
+  FASTBFT_ASSERT(!started_, "attach before start()");
+  handlers_[id] = std::move(handler);
+}
+
+std::unique_ptr<ThreadedEndpoint> ThreadedNetwork::endpoint(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "endpoint: id out of range");
+  return std::make_unique<ThreadedEndpoint>(*this, id);
+}
+
+void ThreadedNetwork::start() {
+  FASTBFT_ASSERT(!started_, "already started");
+  for (ProcessId id = 0; id < n_; ++id) {
+    FASTBFT_ASSERT(static_cast<bool>(handlers_[id]),
+                   "every process needs a handler before start()");
+  }
+  started_ = true;
+  workers_.reserve(n_);
+  for (ProcessId id = 0; id < n_; ++id) {
+    workers_.emplace_back([this, id] { run_worker(id); });
+  }
+}
+
+void ThreadedNetwork::stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    // Either never started or someone else is already stopping.
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    return;
+  }
+  for (auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mutex);
+    inbox->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadedNetwork::disconnect(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "disconnect: id out of range");
+  disconnected_[id].store(true);
+  inboxes_[id]->cv.notify_all();
+}
+
+void ThreadedNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+  FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
+  if (stopping_.load()) return;
+  if (disconnected_[from].load() || disconnected_[to].load()) return;
+  Inbox& inbox = *inboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.push_back(Envelope{from, to, std::move(payload)});
+  }
+  inbox.cv.notify_one();
+}
+
+void ThreadedNetwork::run_worker(ProcessId id) {
+  Inbox& inbox = *inboxes_[id];
+  while (true) {
+    Envelope env;
+    {
+      std::unique_lock<std::mutex> lock(inbox.mutex);
+      inbox.cv.wait(lock, [&] {
+        return stopping_.load() || disconnected_[id].load() ||
+               !inbox.queue.empty();
+      });
+      if (stopping_.load()) return;
+      if (disconnected_[id].load()) {
+        inbox.queue.clear();
+        // Stay parked until shutdown (a crashed process never recovers).
+        inbox.cv.wait(lock, [&] { return stopping_.load(); });
+        return;
+      }
+      env = std::move(inbox.queue.front());
+      inbox.queue.pop_front();
+    }
+    delivered_.fetch_add(1);
+    handlers_[id](env.from, env.payload);
+  }
+}
+
+}  // namespace fastbft::net

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+/// \file threaded_network.hpp
+/// Real-concurrency transport: one OS thread per process, lock-protected
+/// inboxes, actual wall-clock time. This is the "networking boilerplate"
+/// path that demonstrates the protocol engines are not simulation-bound:
+/// the same consensus::Replica runs unmodified over this transport
+/// (tests/test_threaded.cpp, examples/realtime_quickstart.cpp,
+/// bench_codec's threaded benchmark).
+///
+/// Scope: in-process message passing modelling a low-latency LAN. Each
+/// process's handler runs exclusively on that process's thread, so replica
+/// code stays single-threaded (the same discipline a production
+/// event-loop-per-peer deployment would use). There are no timers here —
+/// view synchronization needs a clock source, so threaded runs exercise
+/// the fast path and crash tolerance within it; partial synchrony
+/// experiments live in the deterministic simulator.
+
+namespace fastbft::net {
+
+class ThreadedNetwork;
+
+class ThreadedEndpoint final : public Transport {
+ public:
+  ThreadedEndpoint(ThreadedNetwork& net, ProcessId self)
+      : net_(net), self_(self) {}
+
+  void send(ProcessId to, Bytes payload) override;
+  std::uint32_t cluster_size() const override;
+  ProcessId self() const override { return self_; }
+
+ private:
+  ThreadedNetwork& net_;
+  ProcessId self_;
+};
+
+class ThreadedNetwork {
+ public:
+  explicit ThreadedNetwork(std::uint32_t n);
+  ~ThreadedNetwork();
+
+  ThreadedNetwork(const ThreadedNetwork&) = delete;
+  ThreadedNetwork& operator=(const ThreadedNetwork&) = delete;
+
+  /// Must be called for every process before start().
+  void attach(ProcessId id, ReceiveHandler handler);
+
+  std::unique_ptr<ThreadedEndpoint> endpoint(ProcessId id);
+
+  /// Spawns one delivery thread per process.
+  void start();
+
+  /// Drains and joins all threads. Safe to call twice; called by the
+  /// destructor.
+  void stop();
+
+  /// Simulates a crash: the process stops receiving and its sends are
+  /// dropped. Thread-safe.
+  void disconnect(ProcessId id);
+
+  void send(ProcessId from, ProcessId to, Bytes payload);
+
+  std::uint32_t size() const { return n_; }
+  std::uint64_t delivered_count() const { return delivered_.load(); }
+
+ private:
+  struct Inbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+
+  void run_worker(ProcessId id);
+
+  std::uint32_t n_;
+  std::vector<ReceiveHandler> handlers_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::thread> workers_;
+  std::vector<std::atomic<bool>> disconnected_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> delivered_{0};
+  bool started_ = false;
+};
+
+}  // namespace fastbft::net

@@ -1,0 +1,17 @@
+#include "net/transport.hpp"
+
+namespace fastbft::net {
+
+void Transport::broadcast(const Bytes& payload) {
+  for (ProcessId p = 0; p < cluster_size(); ++p) {
+    send(p, payload);
+  }
+}
+
+void Transport::broadcast_others(const Bytes& payload) {
+  for (ProcessId p = 0; p < cluster_size(); ++p) {
+    if (p != self()) send(p, payload);
+  }
+}
+
+}  // namespace fastbft::net

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+/// \file transport.hpp
+/// Abstract point-to-point transport. Protocol engines talk only to this
+/// interface, so the same replica code runs over the deterministic simulated
+/// network (net::SimNetwork) or any future real transport.
+
+namespace fastbft::net {
+
+/// A message in flight. `payload` begins with a one-byte type tag (see
+/// consensus/messages.hpp) which the statistics collector also uses.
+struct Envelope {
+  ProcessId from;
+  ProcessId to;
+  Bytes payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `payload` from the bound process to `to`. Sending to self is
+  /// allowed and is delivered like any other message (with delay zero in the
+  /// simulated network).
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// Number of processes in the cluster (membership is static).
+  virtual std::uint32_t cluster_size() const = 0;
+
+  /// Sends to every process, including self.
+  void broadcast(const Bytes& payload);
+
+  /// Sends to every process except self.
+  virtual ProcessId self() const = 0;
+  void broadcast_others(const Bytes& payload);
+};
+
+using ReceiveHandler = std::function<void(ProcessId from, const Bytes& payload)>;
+
+}  // namespace fastbft::net

@@ -1,0 +1,475 @@
+#include "pbft/pbft.hpp"
+
+#include "common/assert.hpp"
+#include "net/tags.hpp"
+#include "viewsync/synchronizer.hpp"
+
+namespace fastbft::pbft {
+
+namespace {
+constexpr const char* kDomPrePrepare = "pbft-preprepare";
+constexpr const char* kDomPrepare = "pbft-prepare";
+constexpr const char* kDomViewChange = "pbft-viewchange";
+}  // namespace
+
+// --- Codecs -------------------------------------------------------------------
+
+void PreparedCert::encode(Encoder& enc) const {
+  x.encode(enc);
+  enc.u64(u);
+  enc.u32(static_cast<std::uint32_t>(prepares.size()));
+  for (const auto& e : prepares) e.encode(enc);
+}
+
+std::optional<PreparedCert> PreparedCert::decode(Decoder& dec) {
+  PreparedCert cert;
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  cert.x = std::move(*x);
+  cert.u = dec.u64();
+  std::uint32_t count = dec.u32();
+  if (!dec.ok() || count > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto e = SignatureEntry::decode(dec);
+    if (!e) return std::nullopt;
+    cert.prepares.push_back(std::move(*e));
+  }
+  return cert;
+}
+
+void ViewChangeRecord::encode(Encoder& enc) const {
+  enc.u32(voter);
+  enc.boolean(prepared.has_value());
+  if (prepared) prepared->encode(enc);
+  phi.encode(enc);
+}
+
+std::optional<ViewChangeRecord> ViewChangeRecord::decode(Decoder& dec) {
+  ViewChangeRecord r;
+  r.voter = dec.u32();
+  bool has = dec.boolean();
+  if (!dec.ok()) return std::nullopt;
+  if (has) {
+    auto cert = PreparedCert::decode(dec);
+    if (!cert) return std::nullopt;
+    r.prepared = std::move(*cert);
+  }
+  auto phi = crypto::Signature::decode(dec);
+  if (!phi) return std::nullopt;
+  r.phi = std::move(*phi);
+  return r;
+}
+
+Bytes PrePrepareMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kPbftPrePrepare);
+  enc.u64(v);
+  x.encode(enc);
+  tau.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(justification.size()));
+  for (const auto& r : justification) r.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<PrePrepareMsg> PrePrepareMsg::decode(Decoder& dec) {
+  PrePrepareMsg m;
+  m.v = dec.u64();
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  m.x = std::move(*x);
+  auto tau = crypto::Signature::decode(dec);
+  if (!tau) return std::nullopt;
+  m.tau = std::move(*tau);
+  std::uint32_t count = dec.u32();
+  if (!dec.ok() || count > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto r = ViewChangeRecord::decode(dec);
+    if (!r) return std::nullopt;
+    m.justification.push_back(std::move(*r));
+  }
+  return m;
+}
+
+Bytes PrepareMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kPbftPrepare);
+  enc.u64(v);
+  x.encode(enc);
+  phi.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<PrepareMsg> PrepareMsg::decode(Decoder& dec) {
+  PrepareMsg m;
+  m.v = dec.u64();
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  m.x = std::move(*x);
+  auto phi = crypto::Signature::decode(dec);
+  if (!phi) return std::nullopt;
+  m.phi = std::move(*phi);
+  return m;
+}
+
+Bytes PbftCommitMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kPbftCommit);
+  enc.u64(v);
+  x.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<PbftCommitMsg> PbftCommitMsg::decode(Decoder& dec) {
+  PbftCommitMsg m;
+  m.v = dec.u64();
+  auto x = Value::decode(dec);
+  if (!x) return std::nullopt;
+  m.x = std::move(*x);
+  return m;
+}
+
+Bytes ViewChangeMsg::serialize() const {
+  Encoder enc;
+  enc.u8(net::tags::kPbftViewChange);
+  enc.u64(v);
+  record.encode(enc);
+  return std::move(enc).take();
+}
+
+std::optional<ViewChangeMsg> ViewChangeMsg::decode(Decoder& dec) {
+  ViewChangeMsg m;
+  m.v = dec.u64();
+  auto r = ViewChangeRecord::decode(dec);
+  if (!r) return std::nullopt;
+  m.record = std::move(*r);
+  return m;
+}
+
+// --- Preimages & verification ----------------------------------------------------
+
+namespace {
+Bytes xv(const Value& x, View v) {
+  Encoder enc;
+  x.encode(enc);
+  enc.u64(v);
+  return std::move(enc).take();
+}
+}  // namespace
+
+Bytes preprepare_preimage(const Value& x, View v) { return xv(x, v); }
+Bytes prepare_preimage(const Value& x, View v) { return xv(x, v); }
+
+Bytes viewchange_preimage(const std::optional<PreparedCert>& prepared, View v) {
+  Encoder enc;
+  enc.boolean(prepared.has_value());
+  if (prepared) prepared->encode(enc);
+  enc.u64(v);
+  return std::move(enc).take();
+}
+
+bool verify_prepared_cert(const crypto::Verifier& verifier, std::uint32_t n,
+                          std::uint32_t f, const PreparedCert& cert) {
+  if (cert.u == kNoView || cert.x.empty()) return false;
+  std::set<ProcessId> seen;
+  Bytes preimage = prepare_preimage(cert.x, cert.u);
+  for (const auto& e : cert.prepares) {
+    if (e.signer >= n || seen.contains(e.signer)) continue;
+    if (verifier.verify(e.signer, kDomPrepare, preimage, e.sig)) {
+      seen.insert(e.signer);
+    }
+  }
+  return seen.size() >= 2 * f + 1;
+}
+
+std::optional<Value> select_from_view_changes(
+    const std::vector<ViewChangeRecord>& records) {
+  const PreparedCert* best = nullptr;
+  for (const auto& r : records) {
+    if (r.prepared && (!best || r.prepared->u > best->u)) {
+      best = &*r.prepared;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->x;
+}
+
+// --- Replica ------------------------------------------------------------------------
+
+PbftReplica::PbftReplica(std::uint32_t n, std::uint32_t f, ProcessId id,
+                         Value input, net::Transport& transport,
+                         crypto::Signer signer, crypto::Verifier verifier,
+                         consensus::LeaderFn leader_of,
+                         DecideCallback on_decide)
+    : n_(n),
+      f_(f),
+      id_(id),
+      input_(std::move(input)),
+      transport_(transport),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      leader_of_(std::move(leader_of)),
+      on_decide_(std::move(on_decide)) {
+  FASTBFT_ASSERT(n_ >= 3 * f_ + 1, "PBFT requires n >= 3f + 1");
+}
+
+void PbftReplica::start() {
+  if (leader_of_(1) == id_) {
+    send_preprepare(input_, {});
+  }
+}
+
+void PbftReplica::send_preprepare(const Value& x,
+                                  std::vector<ViewChangeRecord> justification) {
+  PrePrepareMsg msg;
+  msg.v = view_;
+  msg.x = x;
+  msg.tau = signer_.sign(kDomPrePrepare, preprepare_preimage(x, view_));
+  msg.justification = std::move(justification);
+  transport_.broadcast(msg.serialize());
+}
+
+void PbftReplica::on_message(ProcessId from, const Bytes& payload) {
+  if (payload.empty()) return;
+  std::uint8_t tag = payload[0];
+  Decoder dec(payload);
+  dec.u8();
+  switch (tag) {
+    case net::tags::kPbftPrePrepare: {
+      auto m = PrePrepareMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      if (buffer_if_future(from, payload, m->v, tag)) return;
+      handle_preprepare(from, *m);
+      return;
+    }
+    case net::tags::kPbftPrepare: {
+      auto m = PrepareMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      handle_prepare(from, *m);
+      return;
+    }
+    case net::tags::kPbftCommit: {
+      auto m = PbftCommitMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      handle_commit(from, *m);
+      return;
+    }
+    case net::tags::kPbftViewChange: {
+      auto m = ViewChangeMsg::decode(dec);
+      if (!m || !dec.ok() || !dec.at_end()) return;
+      if (buffer_if_future(from, payload, m->v, tag)) return;
+      handle_viewchange(from, *m);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool PbftReplica::buffer_if_future(ProcessId from, const Bytes& payload, View v,
+                                   std::uint8_t) {
+  if (v <= view_) return false;
+  if (future_buffer_.size() > 10'000) return true;
+  future_buffer_[v].emplace_back(from, payload);
+  return true;
+}
+
+void PbftReplica::replay_buffered() {
+  while (!future_buffer_.empty() && future_buffer_.begin()->first < view_) {
+    future_buffer_.erase(future_buffer_.begin());
+  }
+  auto it = future_buffer_.find(view_);
+  if (it == future_buffer_.end()) return;
+  auto pending = std::move(it->second);
+  future_buffer_.erase(it);
+  for (auto& [from, payload] : pending) on_message(from, payload);
+}
+
+void PbftReplica::handle_preprepare(ProcessId from, const PrePrepareMsg& msg) {
+  if (msg.v != view_) return;
+  if (from != leader_of_(msg.v)) return;
+  if (preprepared_.contains(msg.v)) return;
+  if (msg.x.empty()) return;
+  if (!verifier_.verify(from, kDomPrePrepare, preprepare_preimage(msg.x, msg.v),
+                        msg.tau)) {
+    return;
+  }
+  if (msg.v > 1) {
+    // Justified pre-prepare (our folded new-view): 2f+1 valid view-change
+    // records whose selection admits x.
+    std::set<ProcessId> voters;
+    for (const auto& r : msg.justification) {
+      if (!voters.insert(r.voter).second) return;
+      if (r.voter >= n_) return;
+      if (!verifier_.verify(r.voter, kDomViewChange,
+                            viewchange_preimage(r.prepared, msg.v), r.phi)) {
+        return;
+      }
+      if (r.prepared) {
+        if (r.prepared->u >= msg.v) return;
+        if (!verify_prepared_cert(verifier_, n_, f_, *r.prepared)) return;
+      }
+    }
+    if (voters.size() < quorum()) return;
+    auto selected = select_from_view_changes(msg.justification);
+    if (selected.has_value() && !(*selected == msg.x)) return;
+  } else if (!msg.justification.empty()) {
+    return;
+  }
+
+  preprepared_.insert(msg.v);
+  accept_and_prepare(msg.x, msg.v);
+}
+
+void PbftReplica::accept_and_prepare(const Value& x, View v) {
+  PrepareMsg m;
+  m.v = v;
+  m.x = x;
+  m.phi = signer_.sign(kDomPrepare, prepare_preimage(x, v));
+  transport_.broadcast(m.serialize());
+}
+
+void PbftReplica::handle_prepare(ProcessId from, const PrepareMsg& msg) {
+  if (msg.x.empty() || msg.v == kNoView) return;
+  if (!verifier_.verify(from, kDomPrepare, prepare_preimage(msg.x, msg.v),
+                        msg.phi)) {
+    return;
+  }
+  ValueKey key{msg.v, msg.x.bytes()};
+  prepares_[key].emplace(from, msg.phi);
+  maybe_prepared(key);
+}
+
+void PbftReplica::maybe_prepared(const ValueKey& key) {
+  const auto& sigs = prepares_[key];
+  if (sigs.size() < quorum()) return;
+  if (commit_sent_.contains(key)) return;
+  commit_sent_.insert(key);
+
+  PreparedCert cert;
+  cert.x = Value(key.second);
+  cert.u = key.first;
+  for (const auto& [signer, sig] : sigs) {
+    cert.prepares.push_back(SignatureEntry{signer, sig});
+    if (cert.prepares.size() == quorum()) break;
+  }
+  if (!prepared_ || cert.u > prepared_->u) prepared_ = cert;
+
+  PbftCommitMsg m;
+  m.v = key.first;
+  m.x = cert.x;
+  transport_.broadcast(m.serialize());
+}
+
+void PbftReplica::handle_commit(ProcessId from, const PbftCommitMsg& msg) {
+  if (msg.x.empty() || msg.v == kNoView) return;
+  ValueKey key{msg.v, msg.x.bytes()};
+  auto& senders = commits_[key];
+  senders.insert(from);
+  if (senders.size() >= quorum() && !decision_) {
+    decision_ = consensus::DecisionRecord{msg.x, msg.v, false};
+    if (on_decide_) on_decide_(*decision_);
+  }
+}
+
+void PbftReplica::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  leader_state_.reset();
+  ProcessId leader = leader_of_(v);
+  if (leader == id_) leader_state_.emplace();
+
+  ViewChangeMsg m;
+  m.v = v;
+  m.record.voter = id_;
+  m.record.prepared = prepared_;
+  m.record.phi =
+      signer_.sign(kDomViewChange, viewchange_preimage(prepared_, v));
+  transport_.send(leader, m.serialize());
+  replay_buffered();
+}
+
+void PbftReplica::handle_viewchange(ProcessId from, const ViewChangeMsg& msg) {
+  if (msg.v != view_ || !leader_state_ || leader_state_->proposed) return;
+  if (msg.record.voter != from) return;
+  if (!verifier_.verify(from, kDomViewChange,
+                        viewchange_preimage(msg.record.prepared, msg.v),
+                        msg.record.phi)) {
+    return;
+  }
+  if (msg.record.prepared) {
+    if (msg.record.prepared->u >= msg.v) return;
+    if (!verify_prepared_cert(verifier_, n_, f_, *msg.record.prepared)) return;
+  }
+  leader_state_->records.emplace(from, msg.record);
+  try_new_view();
+}
+
+void PbftReplica::try_new_view() {
+  LeaderState& st = *leader_state_;
+  if (st.proposed || st.records.size() < quorum()) return;
+  st.proposed = true;
+  std::vector<ViewChangeRecord> records;
+  for (const auto& [voter, r] : st.records) records.push_back(r);
+  Value x = select_from_view_changes(records).value_or(input_);
+  send_preprepare(x, std::move(records));
+}
+
+// --- Cluster integration -------------------------------------------------------------
+
+namespace {
+
+class PbftNode final : public runtime::IProcess {
+ public:
+  PbftNode(const runtime::ProcessContext& ctx,
+           const runtime::NodeOptions& options,
+           runtime::Node::DecideCallback on_decide)
+      : endpoint_(ctx.network->endpoint(ctx.id)),
+        replica_(
+            ctx.cfg.n, ctx.cfg.f, ctx.id, ctx.input, *endpoint_,
+            crypto::Signer(ctx.keys, ctx.id), crypto::Verifier(ctx.keys),
+            ctx.leader_of,
+            [this, id = ctx.id, cb = std::move(on_decide)](
+                const consensus::DecisionRecord& record) {
+              sync_.stop();
+              if (cb) cb(id, record);
+            }),
+        sync_(sync_config(options, ctx.cfg.f), ctx.id, *endpoint_,
+              *ctx.scheduler, [this](View v) { replica_.enter_view(v); }) {}
+
+  void start() override {
+    sync_.start();
+    replica_.start();
+  }
+
+  void on_message(ProcessId from, const Bytes& payload) override {
+    if (!payload.empty() && payload[0] == net::tags::kWish) {
+      sync_.on_message(from, payload);
+      return;
+    }
+    replica_.on_message(from, payload);
+  }
+
+ private:
+  static viewsync::SynchronizerConfig sync_config(
+      const runtime::NodeOptions& options, std::uint32_t f) {
+    viewsync::SynchronizerConfig cfg = options.sync;
+    cfg.f = f;
+    return cfg;
+  }
+
+  std::unique_ptr<net::SimEndpoint> endpoint_;
+  PbftReplica replica_;
+  viewsync::Synchronizer sync_;
+};
+
+}  // namespace
+
+runtime::NodeFactory node_factory() {
+  return [](const runtime::ProcessContext& ctx,
+            const runtime::NodeOptions& options,
+            runtime::Node::DecideCallback on_decide) {
+    return std::make_unique<PbftNode>(ctx, options, std::move(on_decide));
+  };
+}
+
+}  // namespace fastbft::pbft

@@ -1,0 +1,254 @@
+#include "roles/separated.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fastbft::roles {
+
+namespace {
+constexpr const char* kDomSepPropose = "sep-propose";
+constexpr const char* kDomSepVote = "sep-vote";
+}  // namespace
+
+Bytes separated_propose_preimage(const Value& x, View v) {
+  Encoder enc;
+  x.encode(enc);
+  enc.u64(v);
+  return std::move(enc).take();
+}
+
+Bytes separated_vote_preimage(const SeparatedVote& vote, View v) {
+  Encoder enc;
+  enc.boolean(vote.is_nil);
+  if (!vote.is_nil) {
+    vote.x.encode(enc);
+    enc.u64(vote.u);
+    vote.tau.encode(enc);
+  }
+  enc.u64(v);
+  return std::move(enc).take();
+}
+
+bool validate_separated_vote(const crypto::Verifier& verifier,
+                             const SeparatedConfig& cfg,
+                             const SeparatedVote& vote, View v) {
+  if (vote.voter >= cfg.m) return false;
+  if (!verifier.verify(vote.voter, kDomSepVote,
+                       separated_vote_preimage(vote, v), vote.phi)) {
+    return false;
+  }
+  if (!vote.is_nil) {
+    if (vote.u < 1 || vote.u >= v || vote.x.empty()) return false;
+    if (!verifier.verify(cfg.proposer_id(vote.u), kDomSepPropose,
+                         separated_propose_preimage(vote.x, vote.u),
+                         vote.tau)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Value> separated_select(const SeparatedConfig& cfg,
+                                      const std::vector<SeparatedVote>& votes) {
+  FASTBFT_ASSERT(votes.size() >= cfg.vote_quorum(),
+                 "selection requires m - f votes");
+  View w = kNoView;
+  for (const auto& vote : votes) {
+    if (!vote.is_nil) w = std::max(w, vote.u);
+  }
+  if (w == kNoView) return std::nullopt;
+
+  // NOTE the structural difference to consensus::run_selection: there is
+  // no equivocator to exclude — the misbehaving proposer of view w is not
+  // an acceptor, so every collected vote keeps counting. That costs the
+  // protocol exactly the two processes Section 4.4 talks about.
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& vote : votes) {
+    if (!vote.is_nil && vote.u == w) counts[vote.x] += 1;
+  }
+  for (const auto& [value, count] : counts) {  // std::map: smallest first
+    if (count >= cfg.forced_threshold()) return value;
+  }
+  return std::nullopt;
+}
+
+// --- Acceptor -----------------------------------------------------------------
+
+Acceptor::Acceptor(SeparatedConfig cfg, ProcessId id,
+                   std::shared_ptr<const crypto::KeyStore> keys)
+    : cfg_(cfg), id_(id), keys_(std::move(keys)), verifier_(keys_) {
+  FASTBFT_ASSERT(id_ < cfg_.m, "acceptor id out of range");
+  vote_.voter = id_;
+}
+
+bool Acceptor::on_propose(View v, const Value& x,
+                          const crypto::Signature& tau) {
+  if (v != view_ || accepted_in_.contains(v) || x.empty()) return false;
+  if (!verifier_.verify(cfg_.proposer_id(v), kDomSepPropose,
+                        separated_propose_preimage(x, v), tau)) {
+    return false;
+  }
+  accepted_in_.insert(v);
+  vote_.is_nil = false;
+  vote_.x = x;
+  vote_.u = v;
+  vote_.tau = tau;
+  return true;
+}
+
+std::optional<Value> Acceptor::on_ack(ProcessId from, View v, const Value& x) {
+  if (decision_) return std::nullopt;
+  auto& ackers = acks_[{v, x.bytes()}];
+  ackers.insert(from);
+  if (ackers.size() >= cfg_.fast_quorum()) {
+    decision_ = x;
+    return decision_;
+  }
+  return std::nullopt;
+}
+
+SeparatedVote Acceptor::enter_view(View v) {
+  FASTBFT_ASSERT(v > view_, "views are monotone");
+  view_ = v;
+  SeparatedVote vote = vote_;
+  vote.voter = id_;
+  vote.phi = crypto::Signer(keys_, id_)
+                 .sign(kDomSepVote, separated_vote_preimage(vote, v));
+  return vote;
+}
+
+// --- The Section 4.4 attack ------------------------------------------------------
+
+SeparatedAttackOutcome run_separated_attack(std::uint32_t m) {
+  constexpr std::uint32_t f = 1;
+  constexpr std::uint32_t t = 1;
+  FASTBFT_ASSERT(m >= 3 * f + 2 * t, "attack is scripted for m >= 5");
+
+  SeparatedConfig cfg{m, f, t, /*num_proposers=*/2};
+  auto keys = std::make_shared<const crypto::KeyStore>(/*seed=*/99,
+                                                       cfg.total_keys());
+  crypto::Verifier verifier(keys);
+
+  SeparatedAttackOutcome outcome;
+  outcome.m = m;
+  outcome.f = f;
+  outcome.t = t;
+
+  // Value names are adversary-chosen so that the deterministic tie-break
+  // (smallest value) favours the decoy.
+  const Value x = Value::of_string("zz-decided-fast");
+  const Value y = Value::of_string("aa-decoy");
+  outcome.early_value = x;
+
+  // Cast: proposer of view 1 (key id m) is Byzantine and equivocates;
+  // acceptor a_{m-1} is Byzantine; proposer of view 2 (key id m+1) and
+  // acceptors a0..a_{m-2} are honest.
+  const ProcessId byz_acceptor = m - 1;
+  crypto::Signer proposer1(keys, cfg.proposer_id(1));
+
+  std::vector<std::unique_ptr<Acceptor>> acceptors;
+  for (ProcessId id = 0; id < m; ++id) {
+    acceptors.push_back(std::make_unique<Acceptor>(cfg, id, keys));
+  }
+
+  // --- View 1: equivocation. x goes to acceptors a0..a_{m-3}; y to
+  // a_{m-2}. (m - 2 honest x-acceptors + the Byzantine acker = m - t
+  // ackers of x.)
+  crypto::Signature tau_x =
+      proposer1.sign(kDomSepPropose, separated_propose_preimage(x, 1));
+  crypto::Signature tau_y =
+      proposer1.sign(kDomSepPropose, separated_propose_preimage(y, 1));
+  for (ProcessId id = 0; id + 2 < m; ++id) {
+    FASTBFT_ASSERT(acceptors[id]->on_propose(1, x, tau_x),
+                   "honest acceptors must accept the first proposal");
+  }
+  FASTBFT_ASSERT(acceptors[m - 2]->on_propose(1, y, tau_y),
+                 "the decoy proposal is equally valid");
+
+  // --- Early decider: a0 receives acks for x from every x-adopter plus
+  // the Byzantine acceptor — exactly the fast quorum.
+  for (ProcessId id = 0; id + 2 < m; ++id) {
+    acceptors[0]->on_ack(id, 1, x);
+  }
+  auto early = acceptors[0]->on_ack(byz_acceptor, 1, x);
+  FASTBFT_ASSERT(early.has_value() && *early == x,
+                 "the early decider must decide x through the fast path");
+
+  // --- View change: the honest view-2 proposer collects m - f votes; the
+  // adversary delays the early decider's vote and substitutes the
+  // Byzantine acceptor's crafted y-vote (it holds proposer1's signature
+  // on y, so the vote validates).
+  std::vector<SeparatedVote> votes;
+  for (ProcessId id = 1; id + 1 < m; ++id) {
+    votes.push_back(acceptors[id]->enter_view(2));
+  }
+  {
+    SeparatedVote lie;
+    lie.voter = byz_acceptor;
+    lie.is_nil = false;
+    lie.x = y;
+    lie.u = 1;
+    lie.tau = tau_y;
+    lie.phi = crypto::Signer(keys, byz_acceptor)
+                  .sign(kDomSepVote, separated_vote_preimage(lie, 2));
+    votes.push_back(lie);
+    acceptors[byz_acceptor]->enter_view(2);  // keep its view consistent
+  }
+  acceptors[0]->enter_view(2);  // its vote stays in transit
+
+  for (const auto& vote : votes) {
+    FASTBFT_ASSERT(validate_separated_vote(verifier, cfg, vote, 2),
+                   "every vote handed to the proposer is valid");
+  }
+  FASTBFT_ASSERT(votes.size() == cfg.vote_quorum(),
+                 "proposer proceeds with exactly m - f votes");
+
+  Value selected = separated_select(cfg, votes).value_or(y);
+  outcome.recovered_value = selected;
+
+  // --- View 2 fast path on the selected value: every live acceptor acks.
+  crypto::Signer proposer2(keys, cfg.proposer_id(2));
+  crypto::Signature tau2 =
+      proposer2.sign(kDomSepPropose, separated_propose_preimage(selected, 2));
+  std::vector<ProcessId> ackers;
+  for (ProcessId id = 0; id + 1 < m; ++id) {
+    if (acceptors[id]->on_propose(2, selected, tau2)) ackers.push_back(id);
+  }
+  ackers.push_back(byz_acceptor);
+  for (ProcessId id = 0; id + 1 < m; ++id) {
+    for (ProcessId from : ackers) {
+      acceptors[id]->on_ack(from, 2, selected);
+    }
+  }
+
+  for (ProcessId id = 0; id + 1 < m; ++id) {
+    if (acceptors[id]->decision()) {
+      outcome.decisions.emplace_back(id, *acceptors[id]->decision());
+    }
+  }
+  for (std::size_t i = 1; i < outcome.decisions.size(); ++i) {
+    if (!(outcome.decisions[i].second == outcome.decisions[0].second)) {
+      outcome.disagreement = true;
+    }
+  }
+  return outcome;
+}
+
+std::string SeparatedAttackOutcome::describe() const {
+  std::ostringstream out;
+  out << "separated roles: m=" << m << " acceptors, f=" << f << ", t=" << t
+      << " (FaB bound 3f+2t+1 = " << (3 * f + 2 * t + 1) << ")\n";
+  out << "  fast-path decision in view 1: " << early_value.to_string() << "\n";
+  out << "  view-2 proposer selected:     " << recovered_value.to_string()
+      << "\n";
+  for (const auto& [id, value] : decisions) {
+    out << "  a" << id << " decided " << value.to_string() << "\n";
+  }
+  out << (disagreement ? "  => DISAGREEMENT (safety violated)\n"
+                       : "  => agreement preserved\n");
+  return out.str();
+}
+
+}  // namespace fastbft::roles

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "net/transport.hpp"
+
+/// \file separated.hpp
+/// Section 4.4 of the paper: when the processes that propose values
+/// (proposers) are disjoint from the processes that replicate them
+/// (acceptors) — the original Paxos role split FaB Paxos inherits — the
+/// optimal resilience for fast Byzantine consensus is 3f + 2t + 1
+/// *acceptors*, not 3f + 2t - 1.
+///
+/// The reason is the paper's key trick in reverse: a merged-roles leader
+/// that detects equivocation by a past leader q can *exclude q's vote*
+/// (q is provably Byzantine and is an acceptor, so discounting its vote
+/// tightens the quorum arithmetic by one). A Byzantine proposer that is
+/// not an acceptor leaves nothing to exclude.
+///
+/// This module implements a minimal separated-roles fast protocol to make
+/// that arithmetic executable:
+///  * m acceptors, external proposers (one per view);
+///  * fast path: proposer broadcasts a signed proposal, acceptors ack to
+///    everyone, m - t acks decide;
+///  * recovery: the view-v proposer collects m - f signed votes; a value
+///    with >= m - 2f - t votes at the highest voted view is forced
+///    (that is the exact safety threshold: a decided value always reaches
+///    it — see the counting in separated.cpp); ties broken by smallest
+///    value, none forced = proposer free.
+///
+/// At m = 3f + 2t the threshold is f + t and 2(f + t) <= m - f: the
+/// adversary can engineer a *tie* between the decided value and a decoy,
+/// steer the deterministic tie-break, and force disagreement
+/// (`run_separated_attack`). At m = 3f + 2t + 1 (FaB's bound) the
+/// threshold is f + t + 1 and ties are impossible; the same schedule
+/// fails. The merged-roles protocol of the main library achieves safety
+/// with one acceptor *fewer* than even the broken value here — the whole
+/// point of the paper.
+
+namespace fastbft::roles {
+
+struct SeparatedConfig {
+  /// Number of acceptors.
+  std::uint32_t m = 0;
+  std::uint32_t f = 0;
+  std::uint32_t t = 0;
+
+  /// Acceptor key-store ids are [0, m); proposer of view v gets key id
+  /// m + (v - 1) % num_proposers.
+  std::uint32_t num_proposers = 2;
+
+  std::uint32_t fast_quorum() const { return m - t; }
+  std::uint32_t vote_quorum() const { return m - f; }
+
+  /// Votes at the highest view that force a value during recovery:
+  /// a decided value is guaranteed (m - t) + (m - f) - m - f of them from
+  /// correct acceptors.
+  std::uint32_t forced_threshold() const { return m - 2 * f - t; }
+
+  ProcessId proposer_id(View v) const {
+    return m + static_cast<ProcessId>((v - 1) % num_proposers);
+  }
+  std::uint32_t total_keys() const { return m + num_proposers; }
+};
+
+/// One acceptor's signed recovery vote.
+struct SeparatedVote {
+  ProcessId voter = kNoProcess;
+  bool is_nil = true;
+  Value x;
+  View u = kNoView;
+  crypto::Signature tau;  // proposer(u)'s signature over (x, u)
+  crypto::Signature phi;  // voter's signature binding the vote to view v
+
+  friend bool operator==(const SeparatedVote&, const SeparatedVote&) = default;
+};
+
+Bytes separated_propose_preimage(const Value& x, View v);
+Bytes separated_vote_preimage(const SeparatedVote& vote, View v);
+
+bool validate_separated_vote(const crypto::Verifier& verifier,
+                             const SeparatedConfig& cfg,
+                             const SeparatedVote& vote, View v);
+
+/// Recovery selection for the separated protocol. Returns the forced
+/// value, or nullopt when the proposer is free. Deterministic: among
+/// several values reaching the threshold at the highest view (possible
+/// exactly when m <= 3f + 2t), the lexicographically smallest wins — the
+/// ambiguity the Section 4.4 attack exploits.
+std::optional<Value> separated_select(const SeparatedConfig& cfg,
+                                      const std::vector<SeparatedVote>& votes);
+
+/// Minimal acceptor state machine (hand-cranked by the attack driver and
+/// the tests; no network integration needed for the Section 4.4 result).
+class Acceptor {
+ public:
+  Acceptor(SeparatedConfig cfg, ProcessId id,
+           std::shared_ptr<const crypto::KeyStore> keys);
+
+  /// Handles a proposal; returns true (and records the vote) if this is
+  /// the first valid proposal of the current view.
+  bool on_propose(View v, const Value& x, const crypto::Signature& tau);
+
+  /// Counts an ack from `from`; returns the decided value when the fast
+  /// quorum is reached (first time only).
+  std::optional<Value> on_ack(ProcessId from, View v, const Value& x);
+
+  /// Monotone view switch; returns this acceptor's signed vote for the
+  /// new proposer.
+  SeparatedVote enter_view(View v);
+
+  View view() const { return view_; }
+  const std::optional<Value>& decision() const { return decision_; }
+
+ private:
+  SeparatedConfig cfg_;
+  ProcessId id_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+  crypto::Verifier verifier_;
+
+  View view_ = 1;
+  std::set<View> accepted_in_;
+  SeparatedVote vote_;  // is_nil until the first accepted proposal
+  std::map<std::pair<View, Bytes>, std::set<ProcessId>> acks_;
+  std::optional<Value> decision_;
+};
+
+/// Outcome of the scripted Section 4.4 attack.
+struct SeparatedAttackOutcome {
+  std::uint32_t m = 0;
+  std::uint32_t f = 0;
+  std::uint32_t t = 0;
+  bool disagreement = false;
+  Value early_value;      // decided through the fast path in view 1
+  Value recovered_value;  // what the honest view-2 proposer selected
+  std::vector<std::pair<ProcessId, Value>> decisions;
+  std::string describe() const;
+};
+
+/// Runs the role-separation attack with f = t = 1 against m acceptors.
+/// m = 5 (= 3f + 2t): disagreement. m = 6 (= 3f + 2t + 1, FaB's bound):
+/// agreement — demonstrating that 3f + 2t + 1 is optimal for separated
+/// roles, exactly as Section 4.4 argues.
+SeparatedAttackOutcome run_separated_attack(std::uint32_t m);
+
+}  // namespace fastbft::roles

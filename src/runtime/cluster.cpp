@@ -1,0 +1,175 @@
+#include "runtime/cluster.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fastbft::runtime {
+
+Cluster::Cluster(ClusterOptions options, std::vector<Value> inputs)
+    : options_(options), inputs_(std::move(inputs)) {
+  const auto n = options_.cfg.n;
+  FASTBFT_ASSERT(inputs_.size() == n, "need one input per process");
+  network_ = std::make_unique<net::SimNetwork>(sched_, n, options_.net);
+  keys_ = std::make_shared<const crypto::KeyStore>(options_.key_seed, n);
+  leader_of_ = consensus::round_robin_leader(n);
+  factories_.resize(n);
+  processes_.resize(n);
+  nodes_.resize(n, nullptr);
+  faulty_.resize(n, false);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::replace_process(ProcessId id, ProcessFactory factory) {
+  FASTBFT_ASSERT(!started_, "configure the cluster before start()");
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  factories_[id] = std::move(factory);
+  faulty_[id] = true;
+}
+
+void Cluster::crash_at(ProcessId id, TimePoint at) {
+  FASTBFT_ASSERT(!started_, "configure the cluster before start()");
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  scheduled_crashes_.emplace_back(id, at);
+  faulty_[id] = true;
+}
+
+void Cluster::mark_faulty(ProcessId id) {
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  faulty_[id] = true;
+}
+
+void Cluster::set_network_script(net::SimNetwork::DeliveryScript script) {
+  network_->set_script(std::move(script));
+}
+
+void Cluster::start() {
+  FASTBFT_ASSERT(!started_, "cluster already started");
+  started_ = true;
+
+  FASTBFT_ASSERT(num_faulty() <= options_.cfg.f,
+                 "more faulty processes than the config tolerates — fix the "
+                 "scenario (use mark_faulty-free scripts for network-only "
+                 "adversaries)");
+
+  const auto n = options_.cfg.n;
+  auto record_decision = [this](ProcessId pid,
+                                const consensus::DecisionRecord& record) {
+    decisions_.push_back(Decision{pid, record.value, record.view, sched_.now(),
+                                  record.via_slow_path});
+  };
+  for (ProcessId id = 0; id < n; ++id) {
+    ProcessContext ctx{options_.cfg, id,        inputs_[id], network_.get(),
+                       keys_,        leader_of_, &sched_};
+    if (factories_[id]) {
+      processes_[id] = factories_[id](ctx);
+    } else if (options_.node_factory) {
+      processes_[id] = options_.node_factory(ctx, options_.node, record_decision);
+    } else {
+      auto node = std::make_unique<Node>(options_.cfg, id, inputs_[id],
+                                         *network_, keys_, leader_of_,
+                                         options_.node, record_decision);
+      nodes_[id] = node.get();
+      processes_[id] = std::move(node);
+    }
+    network_->attach(id, [this, id](ProcessId from, const Bytes& payload) {
+      if (processes_[id]) processes_[id]->on_message(from, payload);
+    });
+  }
+
+  for (const auto& [id, at] : scheduled_crashes_) {
+    sched_.schedule_at(at, [this, id = id] { network_->disconnect(id); });
+  }
+
+  for (ProcessId id = 0; id < n; ++id) {
+    if (processes_[id]) {
+      sched_.schedule_at(0, [this, id] { processes_[id]->start(); });
+    }
+  }
+}
+
+bool Cluster::run_until_all_correct_decided(TimePoint limit) {
+  FASTBFT_ASSERT(started_, "start() the cluster first");
+  while (sched_.now() <= limit) {
+    if (all_correct_decided()) return true;
+    if (!sched_.step()) break;
+  }
+  return all_correct_decided();
+}
+
+void Cluster::run_until(TimePoint limit) {
+  FASTBFT_ASSERT(started_, "start() the cluster first");
+  sched_.run_until(limit);
+}
+
+std::optional<Decision> Cluster::decision_of(ProcessId id) const {
+  for (const auto& d : decisions_) {
+    if (d.pid == id) return d;
+  }
+  return std::nullopt;
+}
+
+bool Cluster::agreement() const {
+  const Value* first = nullptr;
+  for (const auto& d : decisions_) {
+    if (faulty_[d.pid]) continue;
+    if (!first) {
+      first = &d.value;
+    } else if (*first != d.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::all_correct_decided() const {
+  std::uint32_t correct_total = 0;
+  for (ProcessId id = 0; id < options_.cfg.n; ++id) {
+    if (!faulty_[id]) ++correct_total;
+  }
+  std::uint32_t decided = 0;
+  for (const auto& d : decisions_) {
+    if (!faulty_[d.pid]) ++decided;
+  }
+  return decided == correct_total;
+}
+
+bool Cluster::decided_value_is_some_input() const {
+  for (const auto& d : decisions_) {
+    if (faulty_[d.pid]) continue;
+    bool found = false;
+    for (const auto& input : inputs_) {
+      if (input == d.value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+double Cluster::max_decision_delays() const {
+  TimePoint latest = 0;
+  for (const auto& d : decisions_) {
+    if (!faulty_[d.pid]) latest = std::max(latest, d.time);
+  }
+  return static_cast<double>(latest) /
+         static_cast<double>(options_.net.delta);
+}
+
+std::uint32_t Cluster::num_faulty() const {
+  std::uint32_t count = 0;
+  for (bool b : faulty_) {
+    if (b) ++count;
+  }
+  return count;
+}
+
+Node* Cluster::node(ProcessId id) {
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  return nodes_[id];
+}
+
+}  // namespace fastbft::runtime

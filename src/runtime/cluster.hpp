@@ -1,0 +1,144 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/node.hpp"
+
+/// \file cluster.hpp
+/// Scenario runner: builds a full simulated cluster (scheduler, network,
+/// key material, processes), runs it and checks the consensus properties.
+/// All tests, benchmarks and examples drive the system through this class.
+
+namespace fastbft::runtime {
+
+/// Context handed to custom (usually Byzantine) process factories.
+struct ProcessContext {
+  consensus::QuorumConfig cfg;
+  ProcessId id = kNoProcess;
+  Value input;
+  net::SimNetwork* network = nullptr;
+  std::shared_ptr<const crypto::KeyStore> keys;
+  consensus::LeaderFn leader_of;
+  sim::Scheduler* scheduler = nullptr;
+};
+
+using ProcessFactory =
+    std::function<std::unique_ptr<IProcess>(const ProcessContext&)>;
+
+/// Factory for the *default* (honest) process type; overriding it runs a
+/// different protocol (PBFT / FaB baselines) under the identical harness.
+using NodeFactory = std::function<std::unique_ptr<IProcess>(
+    const ProcessContext&, const NodeOptions&, Node::DecideCallback)>;
+
+struct ClusterOptions {
+  consensus::QuorumConfig cfg;
+  net::SimNetworkConfig net;
+  NodeOptions node;
+  std::uint64_t key_seed = 42;
+
+  /// Defaults to this paper's protocol (runtime::Node).
+  NodeFactory node_factory;
+};
+
+struct Decision {
+  ProcessId pid = kNoProcess;
+  Value value;
+  View view = kNoView;
+  TimePoint time = 0;
+  bool via_slow_path = false;
+};
+
+class Cluster {
+ public:
+  /// `inputs` must have exactly cfg.n entries (the initial configuration I
+  /// of the paper's model).
+  Cluster(ClusterOptions options, std::vector<Value> inputs);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Pre-start configuration ----------------------------------------------
+
+  /// Replaces process `id` with a custom (Byzantine) behaviour. Marks it
+  /// faulty for the purposes of the correctness checks.
+  void replace_process(ProcessId id, ProcessFactory factory);
+
+  /// Fail-stop fault: process `id` is cut from the network at `at`
+  /// (messages already in flight still arrive — the paper's crash-at-Delta
+  /// executions). Marks it faulty.
+  void crash_at(ProcessId id, TimePoint at);
+
+  /// Marks a process faulty without altering it (e.g. when the test drives
+  /// misbehaviour through a network script).
+  void mark_faulty(ProcessId id);
+
+  /// Installs an exact delivery schedule (see net::SimNetwork).
+  void set_network_script(net::SimNetwork::DeliveryScript script);
+
+  // --- Execution -------------------------------------------------------------
+
+  /// Instantiates processes and calls start() on each at time 0.
+  void start();
+
+  /// Runs until every correct process decided, or simulated time exceeds
+  /// `limit`. Returns true on success.
+  bool run_until_all_correct_decided(TimePoint limit);
+
+  /// Runs the scheduler until `limit` regardless of decisions.
+  void run_until(TimePoint limit);
+
+  // --- Results ----------------------------------------------------------------
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  std::optional<Decision> decision_of(ProcessId id) const;
+
+  /// Consistency: no two correct processes decided different values.
+  bool agreement() const;
+
+  /// All correct processes decided.
+  bool all_correct_decided() const;
+
+  /// Extended validity precondition helper: the decided value is one of the
+  /// inputs (meaningful when all processes are correct).
+  bool decided_value_is_some_input() const;
+
+  /// Latest decision time among correct processes, in Delta units
+  /// (rounded up). The headline "two message delays" metric.
+  double max_decision_delays() const;
+
+  bool is_faulty(ProcessId id) const { return faulty_[id]; }
+  std::uint32_t num_faulty() const;
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::SimNetwork& network() { return *network_; }
+  const consensus::QuorumConfig& config() const { return options_.cfg; }
+  std::shared_ptr<const crypto::KeyStore> keys() const { return keys_; }
+  const consensus::LeaderFn& leader_fn() const { return leader_of_; }
+
+  /// The honest node at `id`; null if the process was replaced.
+  Node* node(ProcessId id);
+
+ private:
+  ClusterOptions options_;
+  std::vector<Value> inputs_;
+
+  sim::Scheduler sched_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+  consensus::LeaderFn leader_of_;
+
+  std::vector<ProcessFactory> factories_;
+  std::vector<std::unique_ptr<IProcess>> processes_;
+  std::vector<Node*> nodes_;  // non-null only for honest default nodes
+  std::vector<bool> faulty_;
+  std::vector<std::pair<ProcessId, TimePoint>> scheduled_crashes_;
+
+  std::vector<Decision> decisions_;
+  bool started_ = false;
+};
+
+}  // namespace fastbft::runtime

@@ -1,0 +1,46 @@
+#include "runtime/node.hpp"
+
+#include "net/tags.hpp"
+
+namespace fastbft::runtime {
+
+namespace {
+viewsync::SynchronizerConfig with_f(viewsync::SynchronizerConfig sync,
+                                    std::uint32_t f) {
+  sync.f = f;
+  return sync;
+}
+}  // namespace
+
+Node::Node(consensus::QuorumConfig cfg, ProcessId id, Value input,
+           net::SimNetwork& network,
+           std::shared_ptr<const crypto::KeyStore> keys,
+           consensus::LeaderFn leader_of, NodeOptions options,
+           DecideCallback on_decide)
+    : endpoint_(network.endpoint(id)),
+      replica_(
+          cfg, id, std::move(input), *endpoint_, crypto::Signer(keys, id),
+          crypto::Verifier(keys), leader_of,
+          [this, id, cb = std::move(on_decide)](
+              const consensus::DecisionRecord& record) {
+            sync_.stop();
+            if (cb) cb(id, record);
+          },
+          options.replica),
+      sync_(with_f(options.sync, cfg.f), id, *endpoint_, network.scheduler(),
+            [this](View v) { replica_.enter_view(v); }) {}
+
+void Node::start() {
+  sync_.start();
+  replica_.start();
+}
+
+void Node::on_message(ProcessId from, const Bytes& payload) {
+  if (!payload.empty() && payload[0] == net::tags::kWish) {
+    sync_.on_message(from, payload);
+    return;
+  }
+  replica_.on_message(from, payload);
+}
+
+}  // namespace fastbft::runtime

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+
+#include "consensus/replica.hpp"
+#include "net/sim_network.hpp"
+#include "runtime/process.hpp"
+#include "viewsync/synchronizer.hpp"
+
+/// \file node.hpp
+/// An honest process: the consensus replica plus the view synchronizer,
+/// sharing one network endpoint. Messages are dispatched by tag byte; a
+/// replica decision stops the synchronizer (single-shot consensus has
+/// nothing further to synchronize).
+
+namespace fastbft::runtime {
+
+struct NodeOptions {
+  consensus::ReplicaOptions replica;
+  viewsync::SynchronizerConfig sync;
+};
+
+class Node final : public IProcess {
+ public:
+  using DecideCallback =
+      std::function<void(ProcessId, const consensus::DecisionRecord&)>;
+
+  Node(consensus::QuorumConfig cfg, ProcessId id, Value input,
+       net::SimNetwork& network,
+       std::shared_ptr<const crypto::KeyStore> keys,
+       consensus::LeaderFn leader_of, NodeOptions options,
+       DecideCallback on_decide);
+
+  void start() override;
+  void on_message(ProcessId from, const Bytes& payload) override;
+
+  consensus::Replica& replica() { return replica_; }
+  const consensus::Replica& replica() const { return replica_; }
+  viewsync::Synchronizer& synchronizer() { return sync_; }
+
+ private:
+  std::unique_ptr<net::SimEndpoint> endpoint_;
+  consensus::Replica replica_;
+  viewsync::Synchronizer sync_;
+};
+
+}  // namespace fastbft::runtime

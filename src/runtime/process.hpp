@@ -1,0 +1,24 @@
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+/// \file process.hpp
+/// Minimal interface every simulated process implements — honest nodes and
+/// Byzantine behaviours alike. The cluster runner only knows this surface.
+
+namespace fastbft::runtime {
+
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+
+  /// Called once at simulation time 0.
+  virtual void start() = 0;
+
+  /// Called for every delivered message. `from` is the authenticated
+  /// channel identity.
+  virtual void on_message(ProcessId from, const Bytes& payload) = 0;
+};
+
+}  // namespace fastbft::runtime

@@ -1,0 +1,90 @@
+#include "runtime/threaded_cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::runtime {
+
+ThreadedCluster::ThreadedCluster(consensus::QuorumConfig cfg,
+                                 std::vector<Value> inputs,
+                                 consensus::ReplicaOptions options,
+                                 std::uint64_t key_seed)
+    : cfg_(cfg),
+      net_(cfg.n),
+      keys_(std::make_shared<const crypto::KeyStore>(key_seed, cfg.n)),
+      faulty_(cfg.n, false) {
+  FASTBFT_ASSERT(inputs.size() == cfg.n, "one input per process");
+  auto leader_of = consensus::round_robin_leader(cfg.n);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    endpoints_.push_back(net_.endpoint(id));
+    replicas_.push_back(std::make_unique<consensus::Replica>(
+        cfg, id, std::move(inputs[id]), *endpoints_.back(),
+        crypto::Signer(keys_, id), crypto::Verifier(keys_), leader_of,
+        [this, id](const consensus::DecisionRecord& record) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          decisions_.emplace(id, record);
+          decided_cv_.notify_all();
+        },
+        options));
+    net_.attach(id, [this, id](ProcessId from, const Bytes& payload) {
+      replicas_[id]->on_message(from, payload);
+    });
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() { net_.stop(); }
+
+void ThreadedCluster::crash(ProcessId id) {
+  FASTBFT_ASSERT(id < cfg_.n, "crash: id out of range");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    faulty_[id] = true;
+  }
+  net_.disconnect(id);
+}
+
+void ThreadedCluster::start() {
+  FASTBFT_ASSERT(!started_, "already started");
+  started_ = true;
+  // Seed initial sends while no delivery thread is running: replicas are
+  // only ever touched by one thread at a time.
+  for (auto& replica : replicas_) {
+    replica->start();
+  }
+  net_.start();
+}
+
+bool ThreadedCluster::wait_all_correct_decided(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return decided_cv_.wait_for(lock, timeout, [&] {
+    std::uint32_t correct = 0, decided = 0;
+    for (ProcessId id = 0; id < cfg_.n; ++id) {
+      if (faulty_[id]) continue;
+      ++correct;
+      if (decisions_.contains(id)) ++decided;
+    }
+    return decided == correct;
+  });
+}
+
+std::map<ProcessId, consensus::DecisionRecord> ThreadedCluster::decisions()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+bool ThreadedCluster::agreement() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Value* first = nullptr;
+  for (const auto& [pid, record] : decisions_) {
+    if (faulty_[pid]) continue;
+    if (!first) {
+      first = &record.value;
+    } else if (!(*first == record.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastbft::runtime

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "consensus/replica.hpp"
+#include "net/threaded_network.hpp"
+
+/// \file threaded_cluster.hpp
+/// Runs the unmodified consensus::Replica over real OS threads and
+/// wall-clock time (net::ThreadedNetwork). Used by the threaded tests,
+/// the realtime example and the wall-clock latency benchmark.
+///
+/// Each replica's messages are processed exclusively on its own delivery
+/// thread; the only cross-thread state is the decision ledger, guarded by
+/// a mutex. There is no view synchronizer (no timer source), so these
+/// clusters exercise the fast and slow paths: a dead leader means no
+/// decision, which the tests assert via timeout.
+
+namespace fastbft::runtime {
+
+class ThreadedCluster {
+ public:
+  ThreadedCluster(consensus::QuorumConfig cfg, std::vector<Value> inputs,
+                  consensus::ReplicaOptions options = {},
+                  std::uint64_t key_seed = 42);
+  ~ThreadedCluster();
+
+  ThreadedCluster(const ThreadedCluster&) = delete;
+  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+
+  /// Fail-stop a process (before or after start). Marks it faulty for the
+  /// wait/agreement accounting.
+  void crash(ProcessId id);
+
+  /// Seeds the leader's proposal into the inboxes, then spawns the
+  /// delivery threads.
+  void start();
+
+  /// Blocks until every non-crashed process decided, or the timeout
+  /// elapses. Returns true on success.
+  bool wait_all_correct_decided(std::chrono::milliseconds timeout);
+
+  /// Thread-safe snapshot of (pid -> decision).
+  std::map<ProcessId, consensus::DecisionRecord> decisions() const;
+
+  /// True iff all recorded decisions (of correct processes) agree.
+  bool agreement() const;
+
+  std::uint64_t delivered_messages() const { return net_.delivered_count(); }
+
+ private:
+  consensus::QuorumConfig cfg_;
+  net::ThreadedNetwork net_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+  std::vector<std::unique_ptr<net::ThreadedEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<consensus::Replica>> replicas_;
+  std::vector<bool> faulty_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable decided_cv_;
+  std::map<ProcessId, consensus::DecisionRecord> decisions_;
+  bool started_ = false;
+};
+
+}  // namespace fastbft::runtime

@@ -1,0 +1,36 @@
+#include "sim/random.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::sim {
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FASTBFT_ASSERT(bound > 0, "next_below(0)");
+  // Modulo bias is irrelevant for simulation workloads.
+  return next_u64() % bound;
+}
+
+std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
+  FASTBFT_ASSERT(lo <= hi, "inverted range");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  FASTBFT_ASSERT(den > 0, "chance with zero denominator");
+  return next_below(den) < num;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  return Rng(next_u64() ^ (salt * 0xd1342543de82ef95ULL));
+}
+
+}  // namespace fastbft::sim

@@ -1,0 +1,58 @@
+#include "sim/scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace fastbft::sim {
+
+TimerHandle Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  FASTBFT_ASSERT(at >= now_, "scheduling into the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), flag});
+  return TimerHandle(std::move(flag));
+}
+
+TimerHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  FASTBFT_ASSERT(delay >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    Log::now_hint = now_;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > limit) break;
+    step();
+  }
+  if (now_ < limit) {
+    now_ = limit;
+    Log::now_hint = now_;
+  }
+}
+
+void Scheduler::run_to_completion(std::uint64_t max_events) {
+  std::uint64_t steps = 0;
+  while (step()) {
+    FASTBFT_ASSERT(++steps <= max_events,
+                   "scheduler exceeded event budget — likely a livelock");
+  }
+}
+
+}  // namespace fastbft::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file scheduler.hpp
+/// Deterministic discrete-event scheduler: the heart of the simulation
+/// substrate. Events fire in (time, insertion-sequence) order, so two runs
+/// with identical inputs replay identically. All protocol latencies reported
+/// by the benchmarks are differences of `now()` values.
+
+namespace fastbft::sim {
+
+/// Cancellation handle for a scheduled event. Destroying the handle does
+/// NOT cancel the event; call `cancel()` explicitly.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool active() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Scheduler;
+  explicit TimerHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now).
+  TimerHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` ticks.
+  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Runs the earliest pending event. Returns false if none are pending.
+  bool step();
+
+  /// Runs events until the queue drains or `limit` is passed; time stops at
+  /// the last executed event (or `limit` if it was reached).
+  void run_until(TimePoint limit);
+
+  /// Runs until the queue is fully drained. Guarded by a large step budget
+  /// to turn accidental infinite loops into loud failures.
+  void run_to_completion(std::uint64_t max_events = 50'000'000);
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fastbft::sim

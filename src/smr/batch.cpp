@@ -1,0 +1,34 @@
+#include "smr/batch.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::smr {
+
+Value encode_batch(const std::vector<Command>& commands) {
+  FASTBFT_ASSERT(!commands.empty(), "batches must be non-empty");
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(commands.size()));
+  for (const auto& cmd : commands) {
+    enc.bytes(cmd.to_value().bytes());
+  }
+  return Value(std::move(enc).take());
+}
+
+std::optional<std::vector<Command>> decode_batch(const Value& value) {
+  Decoder dec(value.bytes());
+  std::uint32_t count = dec.u32();
+  if (!dec.ok() || count == 0 || count > 65536) return std::nullopt;
+  std::vector<Command> commands;
+  commands.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Bytes raw = dec.bytes();
+    if (!dec.ok()) return std::nullopt;
+    auto cmd = Command::from_value(Value(std::move(raw)));
+    if (!cmd) return std::nullopt;
+    commands.push_back(std::move(*cmd));
+  }
+  if (!dec.at_end()) return std::nullopt;
+  return commands;
+}
+
+}  // namespace fastbft::smr

@@ -1,0 +1,58 @@
+#include "smr/client.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fastbft::smr {
+
+Client::Client(std::uint64_t client_id, std::uint32_t f,
+               sim::Scheduler& scheduler)
+    : client_id_(client_id), f_(f), scheduler_(scheduler) {
+  FASTBFT_ASSERT(client_id != 0, "client id 0 is reserved for noops");
+}
+
+SmrNode::CommitCallback Client::subscription() {
+  return [this](ProcessId pid, Slot slot,
+                const std::vector<Command>& commands) {
+    for (const Command& cmd : commands) {
+      if (cmd.client_id != client_id_) continue;
+      auto it = in_flight_.find(cmd.sequence);
+      if (it == in_flight_.end()) continue;  // already complete
+      InFlight& entry = it->second;
+      entry.reporters.insert(pid);
+      entry.slot = slot;
+      if (entry.reporters.size() >= f_ + 1) {
+        completions_.push_back(Completion{entry.command, entry.slot,
+                                          entry.submitted_at,
+                                          scheduler_.now()});
+        in_flight_.erase(it);
+      }
+    }
+  };
+}
+
+std::uint64_t Client::submit(SmrNode& gateway, Command cmd) {
+  cmd.client_id = client_id_;
+  cmd.sequence = next_sequence_++;
+  InFlight entry;
+  entry.command = cmd;
+  entry.submitted_at = scheduler_.now();
+  in_flight_.emplace(cmd.sequence, std::move(entry));
+  gateway.submit(cmd);
+  return cmd.sequence;
+}
+
+std::optional<Client::LatencyStats> Client::latency_stats() const {
+  if (completions_.empty()) return std::nullopt;
+  std::vector<Duration> latencies;
+  latencies.reserve(completions_.size());
+  for (const auto& c : completions_) {
+    latencies.push_back(c.completed_at - c.submitted_at);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return LatencyStats{latencies.front(), latencies[latencies.size() / 2],
+                      latencies.back()};
+}
+
+}  // namespace fastbft::smr

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "smr/smr_node.hpp"
+
+/// \file client.hpp
+/// BFT client session for the replicated state machine. A Byzantine
+/// replica may lie about having executed a command, so a client only
+/// considers a command *complete* once f + 1 distinct replicas report it
+/// applied (at least one of them is correct, and correct replicas only
+/// apply decided commands).
+///
+/// The reply channel is modelled as an in-process subscription to each
+/// replica's commit callback — the simulation analogue of replicas sending
+/// REPLY messages back to the client (the paper's model has no clients;
+/// this mirrors PBFT's client protocol, which every deployment needs).
+
+namespace fastbft::smr {
+
+class Client {
+ public:
+  struct Completion {
+    Command command;
+    Slot slot = 0;
+    TimePoint submitted_at = 0;
+    TimePoint completed_at = 0;
+  };
+
+  /// `client_id` must be unique per client; `f` is the cluster's fault
+  /// bound (completion needs f + 1 matching reports).
+  Client(std::uint64_t client_id, std::uint32_t f, sim::Scheduler& scheduler);
+
+  /// Subscribes to a replica's applied-commands stream. Call once per
+  /// replica before submitting. Returns the callback to install as the
+  /// node's CommitCallback (or to chain from an existing one).
+  SmrNode::CommitCallback subscription();
+
+  /// Sends the next command through `gateway` (any replica; requests are
+  /// broadcast). Returns the assigned sequence number.
+  std::uint64_t submit(SmrNode& gateway, Command cmd);
+
+  /// Completed commands, in completion order.
+  const std::vector<Completion>& completions() const { return completions_; }
+
+  /// Commands submitted but not yet acknowledged by f + 1 replicas.
+  std::size_t pending() const { return in_flight_.size(); }
+
+  bool all_complete() const { return in_flight_.empty(); }
+
+  /// Completion latency statistics in ticks: (min, median, max).
+  struct LatencyStats {
+    Duration min = 0;
+    Duration median = 0;
+    Duration max = 0;
+  };
+  std::optional<LatencyStats> latency_stats() const;
+
+ private:
+  struct InFlight {
+    Command command;
+    TimePoint submitted_at = 0;
+    std::set<ProcessId> reporters;
+    Slot slot = 0;
+  };
+
+  std::uint64_t client_id_;
+  std::uint32_t f_;
+  sim::Scheduler& scheduler_;
+  std::uint64_t next_sequence_ = 1;
+  std::map<std::uint64_t, InFlight> in_flight_;  // keyed by sequence
+  std::vector<Completion> completions_;
+};
+
+}  // namespace fastbft::smr

@@ -1,0 +1,38 @@
+#include "smr/command.hpp"
+
+namespace fastbft::smr {
+
+Value Command::to_value() const {
+  Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(kind));
+  enc.str(key);
+  enc.str(value);
+  enc.u64(client_id);
+  enc.u64(sequence);
+  return Value(std::move(enc).take());
+}
+
+std::optional<Command> Command::from_value(const Value& value) {
+  Decoder dec(value.bytes());
+  Command cmd;
+  std::uint8_t kind = dec.u8();
+  if (kind < 1 || kind > 3) return std::nullopt;
+  cmd.kind = static_cast<OpKind>(kind);
+  cmd.key = dec.str();
+  cmd.value = dec.str();
+  cmd.client_id = dec.u64();
+  cmd.sequence = dec.u64();
+  if (!dec.ok() || !dec.at_end()) return std::nullopt;
+  return cmd;
+}
+
+std::string Command::to_string() const {
+  switch (kind) {
+    case OpKind::Put: return "PUT " + key + "=" + value;
+    case OpKind::Del: return "DEL " + key;
+    case OpKind::Noop: return "NOOP";
+  }
+  return "?";
+}
+
+}  // namespace fastbft::smr

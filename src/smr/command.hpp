@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/codec.hpp"
+#include "common/value.hpp"
+
+/// \file command.hpp
+/// Commands replicated by the SMR layer. A command is what clients submit
+/// and what each consensus slot decides on; the KV store interprets them.
+
+namespace fastbft::smr {
+
+enum class OpKind : std::uint8_t { Put = 1, Del = 2, Noop = 3 };
+
+struct Command {
+  OpKind kind = OpKind::Noop;
+  std::string key;
+  std::string value;
+  /// Client-assigned id for deduplication / reply matching.
+  std::uint64_t client_id = 0;
+  std::uint64_t sequence = 0;
+
+  static Command put(std::string key, std::string value,
+                     std::uint64_t client_id = 0, std::uint64_t sequence = 0) {
+    return Command{OpKind::Put, std::move(key), std::move(value), client_id,
+                   sequence};
+  }
+  static Command del(std::string key, std::uint64_t client_id = 0,
+                     std::uint64_t sequence = 0) {
+    return Command{OpKind::Del, std::move(key), {}, client_id, sequence};
+  }
+  static Command noop() { return Command{}; }
+
+  /// Commands travel inside consensus Values.
+  Value to_value() const;
+  static std::optional<Command> from_value(const Value& value);
+
+  std::string to_string() const;
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+}  // namespace fastbft::smr

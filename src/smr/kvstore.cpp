@@ -1,0 +1,36 @@
+#include "smr/kvstore.hpp"
+
+namespace fastbft::smr {
+
+void KvStore::apply(const Command& cmd) {
+  switch (cmd.kind) {
+    case OpKind::Put:
+      data_[cmd.key] = cmd.value;
+      break;
+    case OpKind::Del:
+      data_.erase(cmd.key);
+      break;
+    case OpKind::Noop:
+      break;
+  }
+  ++applied_;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+crypto::Digest KvStore::state_digest() const {
+  Encoder enc;
+  enc.u64(applied_);
+  enc.u64(data_.size());
+  for (const auto& [key, value] : data_) {
+    enc.str(key);
+    enc.str(value);
+  }
+  return crypto::sha256(std::move(enc).take());
+}
+
+}  // namespace fastbft::smr

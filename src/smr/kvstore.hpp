@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "smr/command.hpp"
+
+/// \file kvstore.hpp
+/// Deterministic key-value state machine replicated by the SMR layer.
+/// Identical command sequences produce identical `state_digest()`s, which
+/// the tests use to check replica convergence.
+
+namespace fastbft::smr {
+
+class KvStore {
+ public:
+  /// Applies one decided command.
+  void apply(const Command& cmd);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t applied_count() const { return applied_; }
+
+  /// SHA-256 over the sorted (key, value) pairs plus the applied-command
+  /// count: equal digests mean equal replica states.
+  crypto::Digest state_digest() const;
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace fastbft::smr

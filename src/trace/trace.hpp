@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/sim_network.hpp"
+
+/// \file trace.hpp
+/// Message-flow tracing: records every message crossing the simulated
+/// network and renders a sequence diagram, reproducing the paper's
+/// protocol figures (Fig. 1a — fast path, Fig. 1b — view change,
+/// Fig. 5 — slow path) from *actual executions* rather than by drawing
+/// them. See examples/message_flow.cpp.
+
+namespace fastbft::trace {
+
+struct TracedMessage {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::uint8_t tag = 0;
+  std::size_t bytes = 0;
+  TimePoint sent = 0;
+  TimePoint delivered = 0;
+};
+
+/// Attaches to a SimNetwork (as its observer) and accumulates messages.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(net::SimNetwork& network);
+
+  const std::vector<TracedMessage>& messages() const { return messages_; }
+  void clear() { messages_.clear(); }
+
+  /// Messages of one tag, in send order.
+  std::vector<TracedMessage> of_tag(std::uint8_t tag) const;
+
+ private:
+  std::vector<TracedMessage> messages_;
+};
+
+struct RenderOptions {
+  /// Only render these tags (empty = all).
+  std::vector<std::uint8_t> tags;
+  /// Hide self-sends (local hand-offs), which the paper's figures omit.
+  bool hide_self_sends = true;
+  /// Stop rendering after this time (default: everything).
+  TimePoint until = kTimeInfinity;
+  /// Collapse a broadcast (same sender/tag/time, >= 3 receivers) into one
+  /// line with a receiver list.
+  bool collapse_broadcasts = true;
+};
+
+/// Renders the trace as a time-ordered sequence diagram:
+///
+///   t=0     p0 -> {p1,p2,p3}      PROPOSE    (delivered t=100)
+///   t=100   p1 -> *               ACK        (delivered t=200)
+///
+/// '*' means all other processes.
+std::string render_sequence(const TraceRecorder& recorder, std::uint32_t n,
+                            const RenderOptions& options = {});
+
+}  // namespace fastbft::trace

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+#include "net/transport.hpp"
+#include "sim/scheduler.hpp"
+
+/// \file synchronizer.hpp
+/// View synchronization protocol. The paper delegates this to the
+/// literature ([8, 11, 24]) and requires three properties:
+///   1. a correct process's view number never decreases;
+///   2. in every infinite execution a correct leader is elected infinitely
+///      often;
+///   3. if a correct leader is elected after GST, no correct process
+///      changes its view for at least 5 * Delta.
+///
+/// This implementation is a timeout-based WISH synchronizer with Bracha
+/// amplification: a process whose timer expires broadcasts WISH(v+1);
+/// seeing f+1 distinct processes wishing for views >= w makes it adopt and
+/// relay WISH(w) (so lagging processes catch up within one delay); seeing
+/// 2f+1 makes it enter view w. Timeouts grow exponentially with the view
+/// number, so after GST they eventually exceed the time a correct leader
+/// needs (4 message delays for view change + proposal), giving property 3.
+
+namespace fastbft::viewsync {
+
+struct WishMsg {
+  View w = kNoView;
+
+  Bytes serialize() const;
+  static std::optional<WishMsg> decode(Decoder& dec);
+};
+
+/// Returns nullopt if the payload is not a WISH message.
+std::optional<WishMsg> parse_wish(const Bytes& payload);
+
+struct SynchronizerConfig {
+  /// Baseline view duration; doubled each view up to `max_doublings`.
+  /// Must comfortably exceed ~6 message delays for liveness after GST.
+  Duration base_timeout = 1200;
+  std::uint32_t max_doublings = 20;
+  std::uint32_t f = 1;
+};
+
+class Synchronizer {
+ public:
+  using EnterViewFn = std::function<void(View)>;
+
+  Synchronizer(SynchronizerConfig cfg, ProcessId id,
+               net::Transport& transport, sim::Scheduler& sched,
+               EnterViewFn enter_view);
+
+  /// Arms the view-1 timer.
+  void start();
+
+  /// Feeds a WISH payload (the node dispatches by tag).
+  void on_message(ProcessId from, const Bytes& payload);
+
+  /// Stops advancing views (called once the replica decided; for
+  /// single-shot consensus there is nothing left to synchronize).
+  void stop();
+
+  View view() const { return view_; }
+  std::uint64_t timeouts_fired() const { return timeouts_fired_; }
+
+ private:
+  void arm_timer();
+  void on_timeout();
+  void send_wish(View w);
+  void process_wishes();
+  Duration timeout_for(View v) const;
+
+  /// k-th highest wish over all processes (1-based); kNoView if fewer than
+  /// k processes have wished.
+  View kth_highest_wish(std::uint32_t k) const;
+
+  SynchronizerConfig cfg_;
+  ProcessId id_;
+  net::Transport& transport_;
+  sim::Scheduler& sched_;
+  EnterViewFn enter_view_;
+
+  View view_ = 1;
+  std::map<ProcessId, View> wish_of_;  // highest wish seen per process
+  View my_wish_ = kNoView;
+  bool stopped_ = false;
+  sim::TimerHandle timer_;
+  std::uint64_t timeouts_fired_ = 0;
+};
+
+}  // namespace fastbft::viewsync

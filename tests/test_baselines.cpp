@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.hpp"
+#include "fab/fab.hpp"
+#include "pbft/pbft.hpp"
+
+/// PBFT and FaB Paxos baselines under the same harness as the main
+/// protocol: common-case latency shape, view changes, fault tolerance.
+
+namespace fastbft {
+namespace {
+
+using runtime::Cluster;
+using runtime::ClusterOptions;
+
+std::vector<Value> inputs_for(std::uint32_t n) {
+  std::vector<Value> inputs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    inputs.push_back(Value::of_string("b" + std::to_string(i)));
+  }
+  return inputs;
+}
+
+ClusterOptions lockstep(consensus::QuorumConfig cfg, runtime::NodeFactory nf,
+                        std::uint64_t seed = 1) {
+  ClusterOptions options;
+  options.cfg = cfg;
+  options.net.delta = 100;
+  options.net.min_delay = 100;
+  options.net.seed = seed;
+  options.node_factory = std::move(nf);
+  return options;
+}
+
+// --- PBFT ----------------------------------------------------------------------
+
+TEST(Pbft, CommonCaseThreeDelays) {
+  // n = 3f + 1 = 4; PBFT needs pre-prepare + prepare + commit.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep(cfg, pbft::node_factory()), inputs_for(4));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 3.0);
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.value, Value::of_string("b0"));
+  }
+}
+
+TEST(Pbft, ThreeDelaysAcrossF) {
+  for (std::uint32_t f = 1; f <= 4; ++f) {
+    std::uint32_t n = 3 * f + 1;
+    auto cfg = consensus::QuorumConfig::create(n, f, 1);
+    Cluster cluster(lockstep(cfg, pbft::node_factory(), f), inputs_for(n));
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000)) << "f=" << f;
+    EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 3.0) << "f=" << f;
+  }
+}
+
+TEST(Pbft, ToleratesFCrashes) {
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  Cluster cluster(lockstep(cfg, pbft::node_factory()), inputs_for(7));
+  cluster.crash_at(3, 0);
+  cluster.crash_at(6, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(100'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 3.0);
+}
+
+TEST(Pbft, LeaderCrashTriggersViewChange) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep(cfg, pbft::node_factory()), inputs_for(4));
+  cluster.crash_at(0, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(500'000));
+  EXPECT_TRUE(cluster.agreement());
+  auto d = cluster.decision_of(1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(d->view, 1u);
+}
+
+TEST(Pbft, PreparedValueSurvivesViewChange) {
+  // Leader crashes after its pre-prepare propagated; if any process
+  // prepared, the prepared value must win the view change.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep(cfg, pbft::node_factory()), inputs_for(4));
+  cluster.crash_at(0, 250);  // after prepare round, before everyone commits
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(500'000));
+  EXPECT_TRUE(cluster.agreement());
+}
+
+TEST(Pbft, SelectionPicksHighestPreparedView) {
+  auto keys = std::make_shared<const crypto::KeyStore>(4, 8);
+  auto make_cert = [&](const Value& x, View u) {
+    pbft::PreparedCert cert;
+    cert.x = x;
+    cert.u = u;
+    for (ProcessId p = 0; p < 3; ++p) {
+      cert.prepares.push_back(consensus::SignatureEntry{
+          p, crypto::Signer(keys, p).sign("pbft-prepare",
+                                          pbft::prepare_preimage(x, u))});
+    }
+    return cert;
+  };
+  std::vector<pbft::ViewChangeRecord> records(3);
+  records[0].voter = 0;
+  records[0].prepared = make_cert(Value::of_string("old"), 2);
+  records[1].voter = 1;
+  records[1].prepared = make_cert(Value::of_string("new"), 4);
+  records[2].voter = 2;
+  auto selected = pbft::select_from_view_changes(records);
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_EQ(*selected, Value::of_string("new"));
+  EXPECT_FALSE(pbft::select_from_view_changes({records[2]}).has_value());
+}
+
+TEST(Pbft, PreparedCertVerification) {
+  auto keys = std::make_shared<const crypto::KeyStore>(4, 8);
+  crypto::Verifier verifier(keys);
+  Value x = Value::of_string("v");
+  pbft::PreparedCert cert;
+  cert.x = x;
+  cert.u = 3;
+  for (ProcessId p = 0; p < 3; ++p) {
+    cert.prepares.push_back(consensus::SignatureEntry{
+        p, crypto::Signer(keys, p).sign("pbft-prepare",
+                                        pbft::prepare_preimage(x, 3))});
+  }
+  EXPECT_TRUE(pbft::verify_prepared_cert(verifier, 4, 1, cert));
+  cert.prepares.pop_back();
+  EXPECT_FALSE(pbft::verify_prepared_cert(verifier, 4, 1, cert));
+}
+
+// --- FaB -----------------------------------------------------------------------
+
+TEST(Fab, RequiresThreeFPlusTwoTPlusOne) {
+  EXPECT_EQ(fab::FabConfig::min_processes(1, 1), 6u);
+  EXPECT_EQ(fab::FabConfig::min_processes(2, 2), 11u);
+  auto cfg = fab::FabConfig::create(6, 1, 1);
+  EXPECT_EQ(cfg.fast_quorum(), 5u);  // ceil((6+3+1)/2) = 5 = n - t
+  EXPECT_EQ(cfg.vote_quorum(), 5u);
+  EXPECT_EQ(cfg.forced_threshold(), 3u);  // f + t + 1 at minimal n
+  EXPECT_DEATH((void)fab::FabConfig::create(5, 1, 1), "3f \\+ 2t \\+ 1");
+}
+
+TEST(Fab, CommonCaseTwoDelays) {
+  // FaB is fast too — it just needs two more processes for the same (f, t).
+  auto cfg = consensus::QuorumConfig::create(6, 1, 1);
+  Cluster cluster(lockstep(cfg, fab::node_factory()), inputs_for(6));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+TEST(Fab, TwoDelaysWithTCrashes) {
+  // n = 5f + 1 = 11 at f = t = 2; two crashes at Delta keep it fast.
+  auto cfg = consensus::QuorumConfig::create(11, 2, 2);
+  Cluster cluster(lockstep(cfg, fab::node_factory()), inputs_for(11));
+  cluster.crash_at(5, 100);
+  cluster.crash_at(9, 100);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+TEST(Fab, LeaderCrashRecovery) {
+  auto cfg = consensus::QuorumConfig::create(6, 1, 1);
+  Cluster cluster(lockstep(cfg, fab::node_factory()), inputs_for(6));
+  cluster.crash_at(0, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(500'000));
+  EXPECT_TRUE(cluster.agreement());
+}
+
+TEST(Fab, AcceptedValueSurvivesRecovery) {
+  auto cfg = consensus::QuorumConfig::create(6, 1, 1);
+  Cluster cluster(lockstep(cfg, fab::node_factory()), inputs_for(6));
+  cluster.crash_at(0, 150);  // proposal out, leader dies before decision
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(500'000));
+  EXPECT_TRUE(cluster.agreement());
+}
+
+TEST(Fab, SelectionThreshold) {
+  auto cfg = fab::FabConfig::create(6, 1, 1);
+  auto keys = std::make_shared<const crypto::KeyStore>(9, 6);
+  Value x = Value::of_string("X");
+  auto rec = [&](ProcessId voter, std::optional<View> u) {
+    fab::FabVoteRecord r;
+    r.voter = voter;
+    if (u) {
+      r.accepted = fab::AcceptedEntry{
+          x, *u,
+          crypto::Signer(keys, (*u - 1) % 6)
+              .sign("fab-propose", fab::fab_propose_preimage(x, *u))};
+    }
+    r.phi = crypto::Signer(keys, voter)
+                .sign("fab-vote", fab::fab_vote_preimage(r.accepted, 5));
+    return r;
+  };
+  // forced_threshold = 3: two reports at the highest view are not enough.
+  std::vector<fab::FabVoteRecord> records = {rec(0, 2), rec(1, 2), rec(2, {}),
+                                             rec(3, {}), rec(4, {})};
+  EXPECT_FALSE(fab::fab_select(cfg, records).has_value());
+  records.push_back(rec(5, 2));
+  auto forced = fab::fab_select(cfg, records);
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(*forced, x);
+}
+
+TEST(Fab, EquivocatingLeaderSafe) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = consensus::QuorumConfig::create(6, 1, 1);
+    Cluster cluster(lockstep(cfg, fab::node_factory(), seed), inputs_for(6));
+    // FaB ignores our consensus-tag equivocation, so drive it with a silent
+    // leader instead (the FaB-specific equivocation path is covered by
+    // fab_select's counting rule, unit-tested above).
+    cluster.replace_process(0, adversary::silent());
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all_correct_decided(2'000'000));
+    EXPECT_TRUE(cluster.agreement());
+  }
+}
+
+// --- Cross-protocol comparison (the paper's headline table) ----------------------
+
+TEST(Comparison, MinimalClusterSizes) {
+  // f = t = 1: ours 4, FaB 6, PBFT 4 (but 3 steps).
+  EXPECT_EQ(consensus::QuorumConfig::min_processes(1, 1), 4u);
+  EXPECT_EQ(fab::FabConfig::min_processes(1, 1), 6u);
+
+  auto ours = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster c1(lockstep(ours, {}), inputs_for(4));
+  c1.start();
+  ASSERT_TRUE(c1.run_until_all_correct_decided(10'000));
+  EXPECT_DOUBLE_EQ(c1.max_decision_delays(), 2.0);
+
+  auto fab_cfg = consensus::QuorumConfig::create(6, 1, 1);
+  Cluster c2(lockstep(fab_cfg, fab::node_factory()), inputs_for(6));
+  c2.start();
+  ASSERT_TRUE(c2.run_until_all_correct_decided(10'000));
+  EXPECT_DOUBLE_EQ(c2.max_decision_delays(), 2.0);
+
+  auto pbft_cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster c3(lockstep(pbft_cfg, pbft::node_factory()), inputs_for(4));
+  c3.start();
+  ASSERT_TRUE(c3.run_until_all_correct_decided(10'000));
+  EXPECT_DOUBLE_EQ(c3.max_decision_delays(), 3.0);
+}
+
+}  // namespace
+}  // namespace fastbft

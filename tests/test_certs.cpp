@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "consensus/types.hpp"
+#include "sim/random.hpp"
+
+/// Progress- and commit-certificate verification, including adversarial
+/// variants (wrong domain, cross-view replay, padding with garbage).
+
+namespace fastbft::consensus {
+namespace {
+
+class CertTest : public ::testing::Test {
+ protected:
+  QuorumConfig cfg_ = QuorumConfig::create(7, 2, 1);  // cert_quorum=3, commit=5
+  std::shared_ptr<const crypto::KeyStore> keys_ =
+      std::make_shared<const crypto::KeyStore>(21, 7);
+  crypto::Verifier verifier_{keys_};
+  Value x_ = Value::of_string("X");
+  Value y_ = Value::of_string("Y");
+
+  crypto::Signature sign(ProcessId p, const char* dom, const Bytes& m) {
+    return crypto::Signer(keys_, p).sign(dom, m);
+  }
+
+  ProgressCert pcert(const Value& x, View v, std::uint32_t count) {
+    ProgressCert cert;
+    for (ProcessId p = 0; p < count; ++p) {
+      cert.acks.push_back(
+          SignatureEntry{p, sign(p, kDomCertAck, certack_preimage(x, v))});
+    }
+    return cert;
+  }
+
+  CommitCert ccert(const Value& x, View v, std::uint32_t count) {
+    CommitCert cc;
+    cc.x = x;
+    cc.v = v;
+    for (ProcessId p = 0; p < count; ++p) {
+      cc.sigs.push_back(SignatureEntry{p, sign(p, kDomAck, ack_preimage(x, v))});
+    }
+    return cc;
+  }
+};
+
+// --- Progress certificates ------------------------------------------------------
+
+TEST_F(CertTest, EmptyCertOnlyValidInViewOne) {
+  EXPECT_TRUE(verify_progress_cert(verifier_, cfg_, x_, 1, ProgressCert{}));
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 2, ProgressCert{}));
+}
+
+TEST_F(CertTest, NonEmptyCertInViewOneRejected) {
+  // View 1 must use the empty certificate by convention.
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 1, pcert(x_, 1, 3)));
+}
+
+TEST_F(CertTest, QuorumSizeBoundary) {
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 5, pcert(x_, 5, 2)));
+  EXPECT_TRUE(verify_progress_cert(verifier_, cfg_, x_, 5, pcert(x_, 5, 3)));
+  EXPECT_TRUE(verify_progress_cert(verifier_, cfg_, x_, 5, pcert(x_, 5, 4)));
+}
+
+TEST_F(CertTest, WrongValueOrViewRejected) {
+  ProgressCert cert = pcert(x_, 5, 3);
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, y_, 5, cert));
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 6, cert));
+}
+
+TEST_F(CertTest, DuplicateSignersDoNotCount) {
+  ProgressCert cert;
+  auto sig0 = sign(0, kDomCertAck, certack_preimage(x_, 5));
+  for (int i = 0; i < 3; ++i) cert.acks.push_back(SignatureEntry{0, sig0});
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 5, cert));
+}
+
+TEST_F(CertTest, GarbagePaddingDoesNotHelp) {
+  // Two valid signatures plus arbitrarily many invalid ones stay invalid.
+  ProgressCert cert = pcert(x_, 5, 2);
+  for (ProcessId p = 2; p < 7; ++p) {
+    cert.acks.push_back(SignatureEntry{p, crypto::Signature{Bytes(32, 0xaa)}});
+  }
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 5, cert));
+}
+
+TEST_F(CertTest, CrossDomainSignatureRejected) {
+  // Signatures over the ack domain must not validate as CertAcks even
+  // though the preimage bytes coincide.
+  ProgressCert cert;
+  for (ProcessId p = 0; p < 3; ++p) {
+    cert.acks.push_back(
+        SignatureEntry{p, sign(p, kDomAck, certack_preimage(x_, 5))});
+  }
+  EXPECT_FALSE(verify_progress_cert(verifier_, cfg_, x_, 5, cert));
+}
+
+TEST_F(CertTest, SizeIsBoundedByQuorumNotView) {
+  // The paper's key point (Section 3.2): certificate size is O(f),
+  // independent of the view number.
+  std::size_t size_v2 = pcert(x_, 2, 3).size_bytes();
+  std::size_t size_v1000000 = pcert(x_, 1'000'000, 3).size_bytes();
+  EXPECT_EQ(size_v2, size_v1000000);
+}
+
+// --- Commit certificates ----------------------------------------------------------
+
+TEST_F(CertTest, CommitCertQuorumBoundary) {
+  EXPECT_FALSE(verify_commit_cert(verifier_, cfg_, ccert(x_, 3, 4)));
+  EXPECT_TRUE(verify_commit_cert(verifier_, cfg_, ccert(x_, 3, 5)));
+}
+
+TEST_F(CertTest, CommitCertEmptyValueOrViewRejected) {
+  CommitCert cc = ccert(x_, 3, 5);
+  cc.v = kNoView;
+  EXPECT_FALSE(verify_commit_cert(verifier_, cfg_, cc));
+  CommitCert cc2 = ccert(Value(), 3, 5);
+  EXPECT_FALSE(verify_commit_cert(verifier_, cfg_, cc2));
+}
+
+TEST_F(CertTest, CommitCertValueViewBindingTamperRejected) {
+  CommitCert cc = ccert(x_, 3, 5);
+  cc.x = y_;  // signatures cover (x, 3), not (y, 3)
+  EXPECT_FALSE(verify_commit_cert(verifier_, cfg_, cc));
+  CommitCert cc2 = ccert(x_, 3, 5);
+  cc2.v = 4;
+  EXPECT_FALSE(verify_commit_cert(verifier_, cfg_, cc2));
+}
+
+TEST_F(CertTest, CommitCertSurvivesCodecRoundtrip) {
+  CommitCert cc = ccert(x_, 3, 5);
+  Bytes wire = encode_to_bytes(cc);
+  auto decoded = decode_from_bytes<CommitCert>(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(verify_commit_cert(verifier_, cfg_, *decoded));
+}
+
+// --- Parameterized: certificate validity across all configs ------------------------
+
+struct CfgParam {
+  std::uint32_t f;
+  std::uint32_t t;
+};
+
+class CertAcrossConfigs : public ::testing::TestWithParam<CfgParam> {};
+
+TEST_P(CertAcrossConfigs, ExactQuorumsVerify) {
+  const auto [f, t] = GetParam();
+  const std::uint32_t n = QuorumConfig::min_processes(f, t);
+  auto cfg = QuorumConfig::create(n, f, t);
+  auto keys = std::make_shared<const crypto::KeyStore>(5, n);
+  crypto::Verifier verifier(keys);
+  Value x = Value::of_string("V");
+
+  ProgressCert pc;
+  for (ProcessId p = 0; p < cfg.cert_quorum(); ++p) {
+    pc.acks.push_back(SignatureEntry{
+        p, crypto::Signer(keys, p).sign(kDomCertAck, certack_preimage(x, 7))});
+  }
+  EXPECT_TRUE(verify_progress_cert(verifier, cfg, x, 7, pc));
+  pc.acks.pop_back();
+  EXPECT_FALSE(verify_progress_cert(verifier, cfg, x, 7, pc));
+
+  CommitCert cc;
+  cc.x = x;
+  cc.v = 7;
+  for (ProcessId p = 0; p < cfg.commit_quorum(); ++p) {
+    cc.sigs.push_back(SignatureEntry{
+        p, crypto::Signer(keys, p).sign(kDomAck, ack_preimage(x, 7))});
+  }
+  EXPECT_TRUE(verify_commit_cert(verifier, cfg, cc));
+  cc.sigs.pop_back();
+  EXPECT_FALSE(verify_commit_cert(verifier, cfg, cc));
+}
+
+std::vector<CfgParam> all_configs() {
+  std::vector<CfgParam> params;
+  for (std::uint32_t f = 1; f <= 5; ++f) {
+    for (std::uint32_t t = 1; t <= f; ++t) params.push_back({f, t});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, CertAcrossConfigs,
+                         ::testing::ValuesIn(all_configs()),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param.f) + "t" +
+                                  std::to_string(info.param.t);
+                         });
+
+}  // namespace
+}  // namespace fastbft::consensus

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "consensus/config.hpp"
+
+namespace fastbft::consensus {
+namespace {
+
+TEST(QuorumConfig, PaperHeadlineNumbers) {
+  // f = t = 1: four processes suffice (vs six for FaB Paxos).
+  EXPECT_EQ(QuorumConfig::min_processes(1, 1), 4u);
+  // Vanilla 5f - 1.
+  EXPECT_EQ(QuorumConfig::min_processes(2, 2), 9u);
+  EXPECT_EQ(QuorumConfig::min_processes(3, 3), 14u);
+  // t = 1 keeps optimal resilience 3f + 1.
+  EXPECT_EQ(QuorumConfig::min_processes(2, 1), 7u);
+  EXPECT_EQ(QuorumConfig::min_processes(3, 1), 10u);
+}
+
+TEST(QuorumConfig, QuorumsAtMinimumN) {
+  auto cfg = QuorumConfig::create(4, 1, 1);
+  EXPECT_EQ(cfg.vote_quorum(), 3u);
+  EXPECT_EQ(cfg.fast_quorum(), 3u);
+  EXPECT_EQ(cfg.cert_quorum(), 2u);
+  EXPECT_EQ(cfg.cert_req_targets(), 3u);
+  EXPECT_EQ(cfg.commit_quorum(), 3u);  // ceil((4+1+1)/2)
+  EXPECT_EQ(cfg.equivocation_vote_threshold(), 2u);
+}
+
+TEST(QuorumConfig, GeneralizedQuorums) {
+  auto cfg = QuorumConfig::create(7, 2, 1);
+  EXPECT_EQ(cfg.vote_quorum(), 5u);
+  EXPECT_EQ(cfg.fast_quorum(), 6u);
+  EXPECT_EQ(cfg.cert_quorum(), 3u);
+  EXPECT_EQ(cfg.commit_quorum(), 5u);  // ceil((7+2+1)/2)
+  EXPECT_EQ(cfg.equivocation_vote_threshold(), 3u);
+}
+
+TEST(QuorumConfig, CommitQuorumIsCeil) {
+  // n + f + 1 odd and even cases.
+  EXPECT_EQ(QuorumConfig::create(9, 2, 2).commit_quorum(), 6u);   // ceil(12/2)
+  EXPECT_EQ(QuorumConfig::create(10, 2, 2).commit_quorum(), 7u);  // ceil(13/2)
+}
+
+TEST(QuorumConfig, VanillaEqualsGeneralizedAtTEqualsF) {
+  auto vanilla = QuorumConfig::vanilla(9, 2);
+  auto general = QuorumConfig::create(9, 2, 2);
+  EXPECT_EQ(vanilla, general);
+  EXPECT_EQ(vanilla.fast_quorum(), vanilla.vote_quorum());
+  EXPECT_EQ(vanilla.equivocation_vote_threshold(), 2 * vanilla.f);
+}
+
+TEST(QuorumConfig, LargerThanMinimumAccepted) {
+  auto cfg = QuorumConfig::create(20, 2, 2);
+  EXPECT_TRUE(cfg.satisfies_bound());
+  EXPECT_EQ(cfg.fast_quorum(), 18u);
+}
+
+TEST(QuorumConfigDeath, RejectsBelowBound) {
+  EXPECT_DEATH((void)QuorumConfig::create(8, 2, 2), "3f \\+ 2t - 1");
+  EXPECT_DEATH((void)QuorumConfig::create(3, 1, 1), "3f \\+ 2t - 1");
+}
+
+TEST(QuorumConfigDeath, RejectsBadFT) {
+  EXPECT_DEATH((void)QuorumConfig::create(10, 1, 2), "3f \\+ 2t - 1");  // t > f
+  EXPECT_DEATH((void)QuorumConfig::create(10, 2, 0), "3f \\+ 2t - 1");  // t = 0
+}
+
+TEST(QuorumConfig, UnsafeConstructorAllowsSubBoundN) {
+  auto cfg = QuorumConfig::unsafe_for_lower_bound_demo(8, 2, 2);
+  EXPECT_FALSE(cfg.satisfies_bound());
+  EXPECT_EQ(cfg.vote_quorum(), 6u);
+  EXPECT_EQ(cfg.fast_quorum(), 6u);
+}
+
+TEST(QuorumConfig, QuorumIntersectionProperties) {
+  // The three quorum intersection properties of Section 3.3, checked as
+  // arithmetic over all legal configs up to f = 6.
+  for (std::uint32_t f = 1; f <= 6; ++f) {
+    for (std::uint32_t t = 1; t <= f; ++t) {
+      std::uint32_t n = QuorumConfig::min_processes(f, t);
+      auto cfg = QuorumConfig::create(n, f, t);
+      // (QI1) two vote quorums intersect in a correct process.
+      EXPECT_GE(2 * cfg.vote_quorum(), n + f + 1) << cfg.to_string();
+      // Fast quorum and vote quorum intersect in >= (f-1) + (f+t) processes
+      // (the generalized equivocation-counting argument, Appendix A.3).
+      EXPECT_GE(cfg.fast_quorum() + cfg.vote_quorum() - n,
+                (f - 1) + cfg.equivocation_vote_threshold())
+          << cfg.to_string();
+      // (QI3 analogue) fast quorum and the f+t vote set (excluding the
+      // equivocator, <= f-1 Byzantine) share a correct process.
+      EXPECT_GE(cfg.fast_quorum() + cfg.equivocation_vote_threshold() - n, f)
+          << cfg.to_string();
+      // Commit quorums: any two intersect in a correct process.
+      EXPECT_GE(2 * cfg.commit_quorum(), n + f + 1) << cfg.to_string();
+      // Commit quorum intersects fast quorum in a correct process.
+      EXPECT_GE(cfg.commit_quorum() + cfg.fast_quorum(), n + f + 1)
+          << cfg.to_string();
+    }
+  }
+}
+
+TEST(QuorumConfig, ToStringMentionsParameters) {
+  auto cfg = QuorumConfig::create(7, 2, 1);
+  std::string s = cfg.to_string();
+  EXPECT_NE(s.find("n=7"), std::string::npos);
+  EXPECT_NE(s.find("f=2"), std::string::npos);
+  EXPECT_NE(s.find("t=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastbft::consensus

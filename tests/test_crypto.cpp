@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace fastbft::crypto {
+namespace {
+
+std::string digest_hex(const Digest& d) {
+  return to_hex(Bytes(d.begin(), d.end()));
+}
+
+// --- SHA-256: FIPS 180-4 / NIST CAVP vectors --------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes data(1'000'000, static_cast<std::uint8_t>('a'));
+  EXPECT_EQ(digest_hex(sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  Sha256 h;
+  // Uneven chunking crosses block boundaries in awkward places.
+  std::size_t offsets[] = {0, 1, 7, 64, 65, 200, 511, 999, 1000};
+  for (std::size_t i = 0; i + 1 < std::size(offsets); ++i) {
+    h.update(data.data() + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+  EXPECT_EQ(h.finalize(), sha256(data));
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // Lengths around the 64-byte block and the 56-byte padding threshold.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    Bytes data(len, 0xab);
+    Sha256 h;
+    h.update(data);
+    EXPECT_EQ(h.finalize(), sha256(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(to_bytes("garbage"));
+  (void)h.finalize();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --- HMAC-SHA-256: RFC 4231 test vectors ------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(to_bytes("Jefe"),
+                             to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(digest_hex(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- Signer / Verifier -------------------------------------------------------
+
+class SignerTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const KeyStore> keys_ =
+      std::make_shared<const KeyStore>(123, 7);
+  Verifier verifier_{keys_};
+};
+
+TEST_F(SignerTest, SignVerifyRoundtrip) {
+  Signer signer(keys_, 3);
+  Bytes msg = to_bytes("propose value 42 in view 9");
+  Signature sig = signer.sign("propose", msg);
+  EXPECT_TRUE(verifier_.verify(3, "propose", msg, sig));
+}
+
+TEST_F(SignerTest, WrongSignerRejected) {
+  Signer signer(keys_, 3);
+  Signature sig = signer.sign("propose", to_bytes("m"));
+  EXPECT_FALSE(verifier_.verify(2, "propose", to_bytes("m"), sig));
+}
+
+TEST_F(SignerTest, WrongDomainRejected) {
+  Signer signer(keys_, 3);
+  Signature sig = signer.sign("propose", to_bytes("m"));
+  EXPECT_FALSE(verifier_.verify(3, "ack", to_bytes("m"), sig));
+}
+
+TEST_F(SignerTest, WrongMessageRejected) {
+  Signer signer(keys_, 3);
+  Signature sig = signer.sign("propose", to_bytes("m"));
+  EXPECT_FALSE(verifier_.verify(3, "propose", to_bytes("m2"), sig));
+}
+
+TEST_F(SignerTest, TamperedSignatureRejected) {
+  Signer signer(keys_, 3);
+  Bytes msg = to_bytes("m");
+  Signature sig = signer.sign("propose", msg);
+  sig.bytes[0] ^= 1;
+  EXPECT_FALSE(verifier_.verify(3, "propose", msg, sig));
+}
+
+TEST_F(SignerTest, TruncatedSignatureRejected) {
+  Signer signer(keys_, 3);
+  Bytes msg = to_bytes("m");
+  Signature sig = signer.sign("propose", msg);
+  sig.bytes.pop_back();
+  EXPECT_FALSE(verifier_.verify(3, "propose", msg, sig));
+}
+
+TEST_F(SignerTest, OutOfRangeSignerRejected) {
+  Signer signer(keys_, 3);
+  Signature sig = signer.sign("propose", to_bytes("m"));
+  EXPECT_FALSE(verifier_.verify(99, "propose", to_bytes("m"), sig));
+}
+
+TEST_F(SignerTest, DistinctProcessesDistinctKeys) {
+  KeyStore keys(5, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = i + 1; j < 4; ++j) {
+      EXPECT_FALSE(bytes_equal(keys.secret_of(i), keys.secret_of(j)))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST_F(SignerTest, DeterministicAcrossKeyStoreInstances) {
+  KeyStore a(77, 5), b(77, 5);
+  EXPECT_TRUE(bytes_equal(a.secret_of(2), b.secret_of(2)));
+  KeyStore c(78, 5);
+  EXPECT_FALSE(bytes_equal(a.secret_of(2), c.secret_of(2)));
+}
+
+TEST(DeriveKey, LabelAndIndexSeparate) {
+  Bytes master = to_bytes("master");
+  EXPECT_FALSE(bytes_equal(derive_key(master, "a", 0), derive_key(master, "a", 1)));
+  EXPECT_FALSE(bytes_equal(derive_key(master, "a", 0), derive_key(master, "b", 0)));
+  EXPECT_TRUE(bytes_equal(derive_key(master, "a", 0), derive_key(master, "a", 0)));
+}
+
+}  // namespace
+}  // namespace fastbft::crypto

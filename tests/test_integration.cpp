@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+
+/// End-to-end executions of the full stack (replica + synchronizer +
+/// simulated network) in the common case and across view changes.
+
+namespace fastbft::runtime {
+namespace {
+
+std::vector<Value> inputs_for(std::uint32_t n, const std::string& prefix) {
+  std::vector<Value> inputs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    inputs.push_back(Value::of_string(prefix + std::to_string(i)));
+  }
+  return inputs;
+}
+
+ClusterOptions lockstep_options(consensus::QuorumConfig cfg,
+                                std::uint64_t seed = 1) {
+  ClusterOptions options;
+  options.cfg = cfg;
+  options.net.delta = 100;
+  options.net.min_delay = 100;  // lock-step: every hop takes exactly delta
+  options.net.gst = 0;
+  options.net.seed = seed;
+  return options;
+}
+
+// --- Fast path ----------------------------------------------------------------
+
+TEST(FastPath, FourProcessesDecideInTwoDelays) {
+  // f = t = 1 -> n = 4: the headline result (optimal for any partially
+  // synchronous Byzantine consensus).
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep_options(cfg), inputs_for(4, "in"));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+
+  EXPECT_TRUE(cluster.agreement());
+  // Leader of view 1 is p0; everyone decides its input.
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.value, Value::of_string("in0"));
+    EXPECT_EQ(d.view, 1u);
+    EXPECT_FALSE(d.via_slow_path);
+  }
+  // Two message delays exactly: propose (delta) + ack (delta).
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+TEST(FastPath, VanillaFiveFMinusOneSweep) {
+  for (std::uint32_t f = 1; f <= 4; ++f) {
+    std::uint32_t n = 5 * f - 1;
+    auto cfg = consensus::QuorumConfig::vanilla(n, f);
+    Cluster cluster(lockstep_options(cfg, f), inputs_for(n, "v"));
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000)) << "f=" << f;
+    EXPECT_TRUE(cluster.agreement()) << "f=" << f;
+    EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0) << "f=" << f;
+  }
+}
+
+TEST(FastPath, StillTwoStepWithTCrashesAtDelta) {
+  // The paper's T-faulty two-step executions: t processes crash at Delta
+  // (after behaving correctly in round 1); the rest still decide at 2*Delta.
+  auto cfg = consensus::QuorumConfig::create(9, 2, 2);
+  Cluster cluster(lockstep_options(cfg), inputs_for(9, "w"));
+  cluster.crash_at(4, 100);
+  cluster.crash_at(7, 100);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+TEST(FastPath, GeneralizedTOneKeepsOptimalResilience) {
+  // t = 1: n = 3f + 1 (optimal resilience) yet still fast with one fault.
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    std::uint32_t n = 3 * f + 1;
+    auto cfg = consensus::QuorumConfig::create(n, f, 1);
+    Cluster cluster(lockstep_options(cfg, f), inputs_for(n, "g"));
+    cluster.crash_at(n - 1, 100);  // one crash at Delta (non-leader)
+    cluster.start();
+    ASSERT_TRUE(cluster.run_until_all_correct_decided(20'000)) << "f=" << f;
+    EXPECT_TRUE(cluster.agreement()) << "f=" << f;
+    EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0) << "f=" << f;
+  }
+}
+
+TEST(FastPath, ExtendedValidityDecidedValueIsSomeInput) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep_options(cfg), inputs_for(4, "val"));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.decided_value_is_some_input());
+}
+
+TEST(FastPath, JitteredDelaysStillDecideFast) {
+  auto cfg = consensus::QuorumConfig::create(9, 2, 2);
+  ClusterOptions options = lockstep_options(cfg, 99);
+  options.net.min_delay = 30;  // jitter in [30, 100]
+  Cluster cluster(options, inputs_for(9, "j"));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_LE(cluster.max_decision_delays(), 2.0);
+}
+
+// --- View change ---------------------------------------------------------------
+
+TEST(ViewChange, CrashedInitialLeaderIsReplaced) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  Cluster cluster(lockstep_options(cfg), inputs_for(4, "in"));
+  cluster.crash_at(0, 0);  // leader of view 1 never says anything
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(200'000));
+  EXPECT_TRUE(cluster.agreement());
+  auto d = cluster.decision_of(1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(d->view, 1u);
+  // Nobody ever acknowledged a proposal in view 1, so the new leader is
+  // free to propose its own input.
+  EXPECT_EQ(d->value, Value::of_string("in1"));
+}
+
+TEST(ViewChange, LeaderCrashAfterProposalPreservesValue) {
+  // The leader gets its proposal out (everyone acks) but the acks are
+  // slow; views change; the adopted value must survive into later views.
+  auto cfg = consensus::QuorumConfig::create(9, 2, 2);
+  ClusterOptions options = lockstep_options(cfg);
+  options.net.gst = 5'000;
+  options.net.pre_gst_max_delay = 4'000;
+  Cluster cluster(options, inputs_for(9, "in"));
+  cluster.crash_at(0, 150);  // proposal (sent at 0) is out; leader dies
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(1'000'000));
+  EXPECT_TRUE(cluster.agreement());
+}
+
+TEST(ViewChange, TwoConsecutiveLeaderCrashes) {
+  auto cfg = consensus::QuorumConfig::create(9, 2, 2);
+  Cluster cluster(lockstep_options(cfg), inputs_for(9, "in"));
+  cluster.crash_at(0, 0);
+  cluster.crash_at(1, 0);  // leaders of views 1 and 2 both dead
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(2'000'000));
+  EXPECT_TRUE(cluster.agreement());
+  auto d = cluster.decision_of(2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(d->view, 3u);
+}
+
+// --- Slow path -------------------------------------------------------------------
+
+TEST(SlowPath, DecidesWithMoreThanTFaults) {
+  // n = 3f + 2t - 1 with f = 2, t = 1 -> n = 7. Two crashes (> t, <= f):
+  // the fast quorum n - t = 6 is unreachable (only 5 correct), but the
+  // slow path quorum ceil((n+f+1)/2) = 5 is.
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  Cluster cluster(lockstep_options(cfg), inputs_for(7, "s"));
+  cluster.crash_at(5, 0);
+  cluster.crash_at(6, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(100'000));
+  EXPECT_TRUE(cluster.agreement());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_TRUE(d.via_slow_path) << "p" << d.pid;
+    EXPECT_EQ(d.view, 1u) << "slow path should not need a view change";
+  }
+  // Three message delays: propose, ack-sig, Commit.
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 3.0);
+}
+
+TEST(SlowPath, DisabledFallsBackToViewChange) {
+  // Same fault pattern with the slow path off (vanilla rules): without
+  // signed acks nobody can decide in view 1 (only n - t - 1 correct acks),
+  // so liveness must come from a view change... but the fast quorum stays
+  // unreachable in every view. This documents why the generalized protocol
+  // needs the slow path; here we only check nobody decides prematurely and
+  // no disagreement arises within a bounded horizon.
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  ClusterOptions options = lockstep_options(cfg);
+  options.node.replica.slow_path = false;
+  Cluster cluster(options, inputs_for(7, "s"));
+  cluster.crash_at(5, 0);
+  cluster.crash_at(6, 0);
+  cluster.start();
+  cluster.run_until(500'000);
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_TRUE(cluster.decisions().empty());
+}
+
+TEST(SlowPath, FastPathWinsWhenFaultsWithinT) {
+  // Same n = 7, f = 2, t = 1 config with exactly one crash: fast path.
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  Cluster cluster(lockstep_options(cfg), inputs_for(7, "s"));
+  cluster.crash_at(6, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(100'000));
+  EXPECT_TRUE(cluster.agreement());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_FALSE(d.via_slow_path);
+  }
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+// --- Asynchrony ---------------------------------------------------------------------
+
+TEST(Asynchrony, DecisionAfterGst) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  ClusterOptions options = lockstep_options(cfg, 5);
+  options.net.gst = 20'000;
+  options.net.pre_gst_max_delay = 15'000;
+  Cluster cluster(options, inputs_for(4, "a"));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(5'000'000));
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_TRUE(cluster.decided_value_is_some_input());
+}
+
+// --- Property sweep: random crash patterns over many seeds ---------------------------
+
+struct SweepParam {
+  std::uint32_t f;
+  std::uint32_t t;
+  std::uint64_t seed;
+};
+
+class CrashSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrashSweep, AgreementAndLiveness) {
+  const auto [f, t, seed] = GetParam();
+  const std::uint32_t n = consensus::QuorumConfig::min_processes(f, t);
+  auto cfg = consensus::QuorumConfig::create(n, f, t);
+
+  ClusterOptions options = lockstep_options(cfg, seed);
+  options.net.min_delay = 25;
+  options.net.gst = 2'000;
+  options.net.pre_gst_max_delay = 1'500;
+
+  Cluster cluster(options, inputs_for(n, "p"));
+
+  // Crash a random subset of size <= f at random times.
+  sim::Rng rng(seed * 977 + f * 31 + t);
+  std::vector<ProcessId> ids;
+  for (ProcessId i = 0; i < n; ++i) ids.push_back(i);
+  rng.shuffle(ids);
+  std::uint32_t crashes = static_cast<std::uint32_t>(rng.next_below(f + 1));
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    cluster.crash_at(ids[i], static_cast<TimePoint>(rng.next_below(3'000)));
+  }
+
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(20'000'000))
+      << "f=" << f << " t=" << t << " seed=" << seed
+      << " crashes=" << crashes;
+  EXPECT_TRUE(cluster.agreement());
+  EXPECT_TRUE(cluster.decided_value_is_some_input());
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    for (std::uint32_t t = 1; t <= f; ++t) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        params.push_back({f, t, seed});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCrashes, CrashSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& info) {
+                           const auto& p = info.param;
+                           return "f" + std::to_string(p.f) + "t" +
+                                  std::to_string(p.t) + "s" +
+                                  std::to_string(p.seed);
+                         });
+
+}  // namespace
+}  // namespace fastbft::runtime

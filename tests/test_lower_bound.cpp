@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound.hpp"
+
+/// Experiment E7: the Theorem 4.5 lower bound made executable. One process
+/// below the bound the scripted adversary forces disagreement; at the bound
+/// the identical schedule is harmless. See src/adversary/lower_bound.hpp
+/// for the construction.
+
+namespace fastbft::adversary {
+namespace {
+
+TEST(LowerBound, AttackBreaksSafetyBelowBound) {
+  // n = 3f + 2t - 2 = 8 with f = t = 2.
+  LowerBoundOutcome outcome = run_lower_bound_attack(8);
+  EXPECT_TRUE(outcome.disagreement) << outcome.describe();
+
+  // The early decider committed to the fast value; someone else decided
+  // the view-2 leader's value.
+  bool saw_early = false, saw_other = false;
+  for (const auto& d : outcome.decisions) {
+    if (d.value == outcome.early_value) saw_early = true;
+    if (!(d.value == outcome.early_value)) saw_other = true;
+  }
+  EXPECT_TRUE(saw_early);
+  EXPECT_TRUE(saw_other);
+}
+
+TEST(LowerBound, SameScheduleHarmlessAtBound) {
+  // n = 3f + 2t - 1 = 9: the paper's resilience. The identical adversarial
+  // schedule now leaves enough honest votes that the selection algorithm
+  // is forced to re-propose the fast value.
+  LowerBoundOutcome outcome = run_lower_bound_attack(9);
+  EXPECT_FALSE(outcome.disagreement) << outcome.describe();
+  EXPECT_EQ(outcome.view2_value, outcome.early_value)
+      << "selection must be forced to the decided value";
+  for (const auto& d : outcome.decisions) {
+    EXPECT_EQ(d.value, outcome.early_value) << "p" << d.pid;
+  }
+}
+
+TEST(LowerBound, MarginGrowsAboveBound) {
+  // Extra processes only make the attack more hopeless.
+  for (std::uint32_t n : {10u, 11u, 12u}) {
+    LowerBoundOutcome outcome = run_lower_bound_attack(n);
+    EXPECT_FALSE(outcome.disagreement) << outcome.describe();
+    EXPECT_EQ(outcome.view2_value, outcome.early_value) << "n=" << n;
+  }
+}
+
+TEST(LowerBound, EveryCorrectProcessDecidesInBothRuns) {
+  for (std::uint32_t n : {8u, 9u}) {
+    LowerBoundOutcome outcome = run_lower_bound_attack(n);
+    // n - 2 correct processes, all of which decide by the end of the run.
+    EXPECT_EQ(outcome.decisions.size(), n - 2) << outcome.describe();
+  }
+}
+
+TEST(LowerBound, DescribeMentionsVerdict) {
+  auto broken = run_lower_bound_attack(8);
+  EXPECT_NE(broken.describe().find("DISAGREEMENT"), std::string::npos);
+  auto safe = run_lower_bound_attack(9);
+  EXPECT_NE(safe.describe().find("agreement preserved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastbft::adversary

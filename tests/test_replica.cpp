@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include "adversary/recording_transport.hpp"
+#include "consensus/replica.hpp"
+
+/// Hand-cranked unit tests of the replica engine: messages are crafted and
+/// delivered explicitly, with no network or synchronizer in the loop.
+
+namespace fastbft::consensus {
+namespace {
+
+using adversary::RecordingTransport;
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 4;  // f = t = 1
+  QuorumConfig cfg_ = QuorumConfig::create(kN, 1, 1);
+  std::shared_ptr<const crypto::KeyStore> keys_ =
+      std::make_shared<const crypto::KeyStore>(17, kN);
+  crypto::Verifier verifier_{keys_};
+  LeaderFn leader_ = round_robin_leader(kN);
+  Value x_ = Value::of_string("X");
+  Value y_ = Value::of_string("Y");
+
+  RecordingTransport transport_{1, kN};
+  std::optional<DecisionRecord> decided_;
+
+  std::unique_ptr<Replica> make_replica(ProcessId id, Value input,
+                                        bool slow_path = true) {
+    return std::make_unique<Replica>(
+        cfg_, id, std::move(input), transport_, crypto::Signer(keys_, id),
+        verifier_, leader_,
+        [this](const DecisionRecord& r) { decided_ = r; },
+        ReplicaOptions{.slow_path = slow_path});
+  }
+
+  crypto::Signature sign(ProcessId p, const char* dom, const Bytes& m) {
+    return crypto::Signer(keys_, p).sign(dom, m);
+  }
+
+  Bytes propose_wire(ProcessId proposer, const Value& x, View v,
+                     ProgressCert sigma = {}) {
+    ProposeMsg m;
+    m.v = v;
+    m.x = x;
+    m.sigma = std::move(sigma);
+    m.tau = sign(proposer, kDomPropose, propose_preimage(x, v));
+    return m.serialize();
+  }
+
+  Bytes ack_wire(const Value& x, View v) { return AckMsg{v, x}.serialize(); }
+
+  Bytes vote_wire(ProcessId voter, View v, Vote vote = Vote::nil(),
+                  std::optional<CommitCert> cc = std::nullopt) {
+    VoteMsg m;
+    m.v = v;
+    m.record.voter = voter;
+    m.record.vote = std::move(vote);
+    m.record.cc = std::move(cc);
+    m.record.phi =
+        sign(voter, kDomVote, vote_preimage(m.record.vote, m.record.cc, v));
+    return m.serialize();
+  }
+
+  /// Messages of `tag` currently in the outbox (without clearing others).
+  std::vector<net::Envelope> sent_of(std::uint8_t tag) {
+    std::vector<net::Envelope> out;
+    for (const auto& env : transport_.peek_outbox()) {
+      if (!env.payload.empty() && env.payload[0] == tag) out.push_back(env);
+    }
+    return out;
+  }
+};
+
+// --- Fast path ------------------------------------------------------------------
+
+TEST_F(ReplicaTest, AcksValidProposal) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, propose_wire(0, x_, 1));
+  auto acks = sent_of(net::tags::kAck);
+  ASSERT_EQ(acks.size(), kN);  // broadcast to everyone including self
+  ASSERT_TRUE(r->current_vote().has_value());
+  EXPECT_EQ(r->current_vote()->x, x_);
+  EXPECT_EQ(r->current_vote()->u, 1u);
+}
+
+TEST_F(ReplicaTest, IgnoresProposalFromNonLeader) {
+  auto r = make_replica(1, y_);
+  r->on_message(2, propose_wire(2, x_, 1));
+  EXPECT_TRUE(sent_of(net::tags::kAck).empty());
+  EXPECT_FALSE(r->current_vote().has_value());
+}
+
+TEST_F(ReplicaTest, IgnoresProposalWithBadSignature) {
+  auto r = make_replica(1, y_);
+  ProposeMsg m;
+  m.v = 1;
+  m.x = x_;
+  m.tau = sign(2, kDomPropose, propose_preimage(x_, 1));  // wrong signer
+  r->on_message(0, m.serialize());
+  EXPECT_TRUE(sent_of(net::tags::kAck).empty());
+}
+
+TEST_F(ReplicaTest, AcksOnlyFirstProposalInView) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, propose_wire(0, x_, 1));
+  std::size_t after_first = transport_.peek_outbox().size();
+  r->on_message(0, propose_wire(0, y_, 1));  // equivocation: second proposal
+  EXPECT_EQ(transport_.peek_outbox().size(), after_first);
+  EXPECT_EQ(r->current_vote()->x, x_);
+}
+
+TEST_F(ReplicaTest, DecidesOnFastQuorumAcks) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, ack_wire(x_, 1));
+  r->on_message(2, ack_wire(x_, 1));
+  EXPECT_FALSE(decided_.has_value());
+  r->on_message(3, ack_wire(x_, 1));  // third of n - t = 3
+  ASSERT_TRUE(decided_.has_value());
+  EXPECT_EQ(decided_->value, x_);
+  EXPECT_EQ(decided_->view, 1u);
+  EXPECT_FALSE(decided_->via_slow_path);
+}
+
+TEST_F(ReplicaTest, DuplicateAckersDoNotCount) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, ack_wire(x_, 1));
+  r->on_message(0, ack_wire(x_, 1));
+  r->on_message(0, ack_wire(x_, 1));
+  EXPECT_FALSE(decided_.has_value());
+}
+
+TEST_F(ReplicaTest, MixedValueAcksDoNotCount) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, ack_wire(x_, 1));
+  r->on_message(2, ack_wire(y_, 1));
+  r->on_message(3, ack_wire(x_, 1));
+  EXPECT_FALSE(decided_.has_value());
+}
+
+TEST_F(ReplicaTest, DecidesOnlyOnce) {
+  auto r = make_replica(1, y_);
+  for (ProcessId p : {0u, 2u, 3u}) r->on_message(p, ack_wire(x_, 1));
+  ASSERT_TRUE(decided_.has_value());
+  decided_.reset();
+  for (ProcessId p : {0u, 1u, 2u, 3u}) r->on_message(p, ack_wire(y_, 2));
+  EXPECT_FALSE(decided_.has_value()) << "second decision must not fire";
+}
+
+TEST_F(ReplicaTest, LeaderOfViewOneProposesOnStart) {
+  RecordingTransport t0(0, kN);
+  Replica leader(cfg_, 0, x_, t0, crypto::Signer(keys_, 0), verifier_, leader_,
+                 nullptr, ReplicaOptions{});
+  leader.start();
+  std::vector<net::Envelope> proposals;
+  for (const auto& env : t0.peek_outbox()) {
+    if (env.payload[0] == net::tags::kPropose) proposals.push_back(env);
+  }
+  ASSERT_EQ(proposals.size(), kN);
+  auto parsed = parse_message(proposals[0].payload);
+  EXPECT_EQ(std::get<ProposeMsg>(*parsed).x, x_);
+}
+
+TEST_F(ReplicaTest, NonLeaderStaysQuietOnStart) {
+  auto r = make_replica(1, y_);
+  r->start();
+  EXPECT_TRUE(transport_.peek_outbox().empty());
+}
+
+// --- Slow path -------------------------------------------------------------------
+
+TEST_F(ReplicaTest, SendsSignedAckAlongsideFastAck) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, propose_wire(0, x_, 1));
+  EXPECT_EQ(sent_of(net::tags::kAckSig).size(), kN);
+}
+
+TEST_F(ReplicaTest, VanillaModeSendsNoSignedAcks) {
+  auto r = make_replica(1, y_, /*slow_path=*/false);
+  r->on_message(0, propose_wire(0, x_, 1));
+  EXPECT_EQ(sent_of(net::tags::kAck).size(), kN);
+  EXPECT_TRUE(sent_of(net::tags::kAckSig).empty());
+}
+
+TEST_F(ReplicaTest, AssemblesCommitCertFromSignedAcks) {
+  auto r = make_replica(1, y_);
+  for (ProcessId p : {0u, 2u, 3u}) {  // commit_quorum = 3
+    AckSigMsg m{1, x_, sign(p, kDomAck, ack_preimage(x_, 1))};
+    r->on_message(p, m.serialize());
+  }
+  auto commits = sent_of(net::tags::kCommit);
+  ASSERT_EQ(commits.size(), kN);
+  ASSERT_TRUE(r->latest_cc().has_value());
+  EXPECT_EQ(r->latest_cc()->x, x_);
+  EXPECT_TRUE(verify_commit_cert(verifier_, cfg_, *r->latest_cc()));
+}
+
+TEST_F(ReplicaTest, InvalidAckSigIgnored) {
+  auto r = make_replica(1, y_);
+  for (ProcessId p : {0u, 2u, 3u}) {
+    AckSigMsg m{1, x_, sign(p, kDomAck, ack_preimage(y_, 1))};  // wrong value
+    r->on_message(p, m.serialize());
+  }
+  EXPECT_TRUE(sent_of(net::tags::kCommit).empty());
+}
+
+TEST_F(ReplicaTest, DecidesOnCommitQuorum) {
+  auto r = make_replica(1, y_);
+  CommitCert cc;
+  cc.x = x_;
+  cc.v = 1;
+  for (ProcessId p : {0u, 2u, 3u}) {
+    cc.sigs.push_back(SignatureEntry{p, sign(p, kDomAck, ack_preimage(x_, 1))});
+  }
+  CommitMsg m{1, x_, cc};
+  for (ProcessId p : {0u, 2u, 3u}) r->on_message(p, m.serialize());
+  ASSERT_TRUE(decided_.has_value());
+  EXPECT_TRUE(decided_->via_slow_path);
+  EXPECT_EQ(decided_->value, x_);
+}
+
+TEST_F(ReplicaTest, ForgedCommitCertIgnored) {
+  auto r = make_replica(1, y_);
+  CommitCert cc;
+  cc.x = x_;
+  cc.v = 1;
+  for (ProcessId p : {0u, 2u, 3u}) {
+    cc.sigs.push_back(SignatureEntry{p, crypto::Signature{Bytes(32, 0x11)}});
+  }
+  CommitMsg m{1, x_, cc};
+  for (ProcessId p : {0u, 2u, 3u}) r->on_message(p, m.serialize());
+  EXPECT_FALSE(decided_.has_value());
+}
+
+// --- View change -----------------------------------------------------------------
+
+TEST_F(ReplicaTest, EnteringViewSendsVoteToNewLeader) {
+  auto r = make_replica(1, y_);
+  r->on_message(0, propose_wire(0, x_, 1));
+  transport_.take_outbox();
+  r->enter_view(3);  // leader(3) = p2
+  auto votes = sent_of(net::tags::kVote);
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_EQ(votes[0].to, 2u);
+  auto parsed = parse_message(votes[0].payload);
+  const auto& vm = std::get<VoteMsg>(*parsed);
+  EXPECT_EQ(vm.record.voter, 1u);
+  EXPECT_FALSE(vm.record.vote.is_nil);
+  EXPECT_EQ(vm.record.vote.x, x_);
+  EXPECT_TRUE(validate_vote_record(verifier_, cfg_, leader_, vm.record, 3));
+}
+
+TEST_F(ReplicaTest, ViewsAreMonotone) {
+  auto r = make_replica(1, y_);
+  r->enter_view(5);
+  EXPECT_EQ(r->view(), 5u);
+  r->enter_view(3);
+  EXPECT_EQ(r->view(), 5u);
+  r->enter_view(5);
+  EXPECT_EQ(r->view(), 5u);
+}
+
+TEST_F(ReplicaTest, LeaderRunsViewChangeToProposal) {
+  // p1 is leader of view 2. Feed it n - f = 3 nil votes; it must CertReq,
+  // and after f + 1 = 2 CertAcks propose its own input.
+  auto r = make_replica(1, y_);
+  r->enter_view(2);
+  // Own vote was sent to self through the transport; deliver it back.
+  auto own_votes = sent_of(net::tags::kVote);
+  ASSERT_EQ(own_votes.size(), 1u);
+  EXPECT_EQ(own_votes[0].to, 1u);
+  r->on_message(1, own_votes[0].payload);
+  r->on_message(2, vote_wire(2, 2));
+  EXPECT_TRUE(sent_of(net::tags::kCertReq).empty()) << "needs n-f votes";
+  r->on_message(3, vote_wire(3, 2));
+  auto reqs = sent_of(net::tags::kCertReq);
+  ASSERT_EQ(reqs.size(), cfg_.cert_req_targets());
+
+  // CertAcks from two processes.
+  for (ProcessId p : {2u, 3u}) {
+    CertAckMsg ca{2, y_, sign(p, kDomCertAck, certack_preimage(y_, 2))};
+    r->on_message(p, ca.serialize());
+  }
+  auto proposals = sent_of(net::tags::kPropose);
+  ASSERT_EQ(proposals.size(), kN);
+  auto parsed = parse_message(proposals[0].payload);
+  const auto& pm = std::get<ProposeMsg>(*parsed);
+  EXPECT_EQ(pm.x, y_);  // all-nil: leader's own input
+  EXPECT_EQ(pm.v, 2u);
+  EXPECT_TRUE(verify_progress_cert(verifier_, cfg_, pm.x, 2, pm.sigma));
+}
+
+TEST_F(ReplicaTest, LeaderForcedToReproposeAdoptedValue) {
+  // One voter acked x in view 1; selection must force x, not the leader's
+  // own input.
+  auto r = make_replica(1, y_);
+  r->enter_view(2);
+  auto own_votes = sent_of(net::tags::kVote);
+  r->on_message(1, own_votes[0].payload);
+  Vote v2 = Vote::of(x_, 1, ProgressCert{},
+                     sign(0, kDomPropose, propose_preimage(x_, 1)));
+  r->on_message(2, vote_wire(2, 2, v2));
+  r->on_message(3, vote_wire(3, 2));
+  for (ProcessId p : {2u, 3u}) {
+    CertAckMsg ca{2, x_, sign(p, kDomCertAck, certack_preimage(x_, 2))};
+    r->on_message(p, ca.serialize());
+  }
+  auto proposals = sent_of(net::tags::kPropose);
+  ASSERT_FALSE(proposals.empty());
+  auto parsed = parse_message(proposals[0].payload);
+  EXPECT_EQ(std::get<ProposeMsg>(*parsed).x, x_);
+}
+
+TEST_F(ReplicaTest, RejectsVoteWithWrongSenderIdentity) {
+  auto r = make_replica(1, y_);
+  r->enter_view(2);
+  auto own_votes = sent_of(net::tags::kVote);
+  r->on_message(1, own_votes[0].payload);
+  // p3's correctly signed vote delivered with channel identity p2.
+  r->on_message(2, vote_wire(3, 2));
+  r->on_message(3, vote_wire(3, 2));
+  EXPECT_TRUE(sent_of(net::tags::kCertReq).empty());
+}
+
+TEST_F(ReplicaTest, CertReqVerifierRejectsUnjustifiedValue) {
+  // Leader p1 claims y although a vote for x at the highest view forces x.
+  auto r = make_replica(2, y_);  // p2 is a verifier
+  r->enter_view(2);
+  transport_.take_outbox();
+
+  CertReqMsg req;
+  req.v = 2;
+  req.x = y_;
+  {
+    VoteRecord rec;
+    rec.voter = 0;
+    rec.vote = Vote::of(x_, 1, ProgressCert{},
+                        sign(0, kDomPropose, propose_preimage(x_, 1)));
+    rec.phi = sign(0, kDomVote, vote_preimage(rec.vote, rec.cc, 2));
+    req.votes.push_back(rec);
+  }
+  for (ProcessId p : {2u, 3u}) {
+    VoteRecord rec;
+    rec.voter = p;
+    rec.vote = Vote::nil();
+    rec.phi = sign(p, kDomVote, vote_preimage(rec.vote, rec.cc, 2));
+    req.votes.push_back(rec);
+  }
+  r->on_message(1, req.serialize());
+  EXPECT_TRUE(sent_of(net::tags::kCertAck).empty());
+
+  // The same request with the justified value is certified.
+  req.x = x_;
+  r->on_message(1, req.serialize());
+  EXPECT_EQ(sent_of(net::tags::kCertAck).size(), 1u);
+}
+
+TEST_F(ReplicaTest, CertReqWithDuplicateVotersRejected) {
+  auto r = make_replica(2, y_);
+  r->enter_view(2);
+  transport_.take_outbox();
+  CertReqMsg req;
+  req.v = 2;
+  req.x = y_;
+  for (int i = 0; i < 3; ++i) {
+    VoteRecord rec;
+    rec.voter = 3;
+    rec.vote = Vote::nil();
+    rec.phi = sign(3, kDomVote, vote_preimage(rec.vote, rec.cc, 2));
+    req.votes.push_back(rec);
+  }
+  r->on_message(1, req.serialize());
+  EXPECT_TRUE(sent_of(net::tags::kCertAck).empty());
+}
+
+TEST_F(ReplicaTest, FutureViewMessagesBufferedAndReplayed) {
+  auto r = make_replica(1, y_);
+  // Proposal for view 2 arrives while still in view 1.
+  ProgressCert sigma;
+  for (ProcessId p : {2u, 3u}) {
+    sigma.acks.push_back(
+        SignatureEntry{p, sign(p, kDomCertAck, certack_preimage(x_, 2))});
+  }
+  r->on_message(1, propose_wire(1, x_, 2, sigma));
+  EXPECT_TRUE(sent_of(net::tags::kAck).empty());
+  r->enter_view(2);
+  EXPECT_FALSE(sent_of(net::tags::kAck).empty());
+  EXPECT_EQ(r->current_vote()->u, 2u);
+}
+
+TEST_F(ReplicaTest, StaleViewProposalIgnored) {
+  auto r = make_replica(1, y_);
+  r->enter_view(4);
+  transport_.take_outbox();
+  r->on_message(0, propose_wire(0, x_, 1));
+  EXPECT_TRUE(sent_of(net::tags::kAck).empty());
+}
+
+TEST_F(ReplicaTest, ProposalWithoutCertRejectedAfterViewOne) {
+  auto r = make_replica(1, y_);
+  r->enter_view(2);
+  transport_.take_outbox();
+  r->on_message(1, propose_wire(1, x_, 2));  // empty sigma, v > 1
+  EXPECT_TRUE(sent_of(net::tags::kAck).empty());
+}
+
+}  // namespace
+}  // namespace fastbft::consensus

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/recording_transport.hpp"
+#include "runtime/cluster.hpp"
+
+/// Runtime harness: cluster construction, decision accounting, fault
+/// bookkeeping, network statistics integration, recording transport.
+
+namespace fastbft::runtime {
+namespace {
+
+ClusterOptions basic_options(std::uint32_t n = 4, std::uint32_t f = 1,
+                             std::uint32_t t = 1) {
+  ClusterOptions options;
+  options.cfg = consensus::QuorumConfig::create(n, f, t);
+  options.net.delta = 100;
+  options.net.min_delay = 100;
+  return options;
+}
+
+std::vector<Value> inputs(std::uint32_t n) {
+  std::vector<Value> v;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.push_back(Value::of_string("i" + std::to_string(i)));
+  }
+  return v;
+}
+
+TEST(Cluster, DecisionAccounting) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_EQ(cluster.decisions().size(), 4u);
+  for (ProcessId id = 0; id < 4; ++id) {
+    auto d = cluster.decision_of(id);
+    ASSERT_TRUE(d.has_value()) << "p" << id;
+    EXPECT_EQ(d->pid, id);
+    EXPECT_EQ(d->time, 200);
+  }
+  EXPECT_FALSE(cluster.decision_of(3).value().via_slow_path);
+}
+
+TEST(Cluster, FaultBookkeeping) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.crash_at(2, 500);
+  EXPECT_TRUE(cluster.is_faulty(2));
+  EXPECT_FALSE(cluster.is_faulty(1));
+  EXPECT_EQ(cluster.num_faulty(), 1u);
+}
+
+TEST(ClusterDeath, RejectsTooManyFaults) {
+  Cluster cluster(basic_options(), inputs(4));  // f = 1
+  cluster.crash_at(1, 0);
+  cluster.crash_at(2, 0);
+  EXPECT_DEATH(cluster.start(), "more faulty processes");
+}
+
+TEST(ClusterDeath, RejectsWrongInputCount) {
+  EXPECT_DEATH(Cluster(basic_options(), inputs(3)), "one input per process");
+}
+
+TEST(Cluster, AllCorrectDecidedExcludesFaulty) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.crash_at(3, 0);
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_EQ(cluster.decisions().size(), 3u);  // the crashed one never decides
+}
+
+TEST(Cluster, NetworkStatsAccumulate) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  const auto& stats = cluster.network().stats();
+  EXPECT_GT(stats.total_messages(), 0u);
+  EXPECT_GT(stats.total_bytes(), stats.total_messages());
+  std::string summary = stats.summary();
+  EXPECT_NE(summary.find("PROPOSE"), std::string::npos);
+  EXPECT_NE(summary.find("ACK"), std::string::npos);
+}
+
+TEST(Cluster, MaxDecisionDelaysUsesLatestCorrectDecision) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_DOUBLE_EQ(cluster.max_decision_delays(), 2.0);
+}
+
+TEST(Cluster, NodeAccessorOnlyForHonestDefaults) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.replace_process(2, [](const ProcessContext&) {
+    struct Noop final : IProcess {
+      void start() override {}
+      void on_message(ProcessId, const Bytes&) override {}
+    };
+    return std::make_unique<Noop>();
+  });
+  cluster.start();
+  EXPECT_NE(cluster.node(0), nullptr);
+  EXPECT_EQ(cluster.node(2), nullptr);
+}
+
+TEST(Cluster, CustomFactoryReceivesContext) {
+  Cluster cluster(basic_options(), inputs(4));
+  ProcessContext seen;
+  cluster.replace_process(3, [&seen](const ProcessContext& ctx) {
+    seen = ctx;
+    struct Noop final : IProcess {
+      void start() override {}
+      void on_message(ProcessId, const Bytes&) override {}
+    };
+    return std::make_unique<Noop>();
+  });
+  cluster.start();
+  EXPECT_EQ(seen.id, 3u);
+  EXPECT_EQ(seen.cfg.n, 4u);
+  EXPECT_EQ(seen.input, Value::of_string("i3"));
+  ASSERT_NE(seen.network, nullptr);
+  ASSERT_NE(seen.scheduler, nullptr);
+  ASSERT_TRUE(static_cast<bool>(seen.leader_of));
+  EXPECT_EQ(seen.leader_of(1), 0u);
+  EXPECT_EQ(seen.leader_of(5), 0u);  // round robin wraps at n = 4
+}
+
+TEST(Cluster, RunUntilAdvancesWithoutDecisions) {
+  Cluster cluster(basic_options(), inputs(4));
+  cluster.crash_at(0, 0);
+  cluster.start();
+  cluster.run_until(500);
+  EXPECT_TRUE(cluster.decisions().empty());
+  EXPECT_GE(cluster.scheduler().now(), 500);
+}
+
+// --- RecordingTransport ------------------------------------------------------------
+
+TEST(RecordingTransport, CapturesAndClears) {
+  adversary::RecordingTransport transport(2, 5);
+  EXPECT_EQ(transport.self(), 2u);
+  EXPECT_EQ(transport.cluster_size(), 5u);
+
+  transport.send(0, {0x01});
+  transport.broadcast({0x02});
+  transport.broadcast_others({0x03});
+
+  const auto& outbox = transport.peek_outbox();
+  EXPECT_EQ(outbox.size(), 1 + 5 + 4u);
+  EXPECT_EQ(outbox[0].to, 0u);
+  EXPECT_EQ(outbox[0].from, 2u);
+
+  auto taken = transport.take_outbox();
+  EXPECT_EQ(taken.size(), 10u);
+  EXPECT_TRUE(transport.peek_outbox().empty());
+}
+
+TEST(RecordingTransport, BroadcastOthersSkipsSelf) {
+  adversary::RecordingTransport transport(1, 3);
+  transport.broadcast_others({0x09});
+  for (const auto& env : transport.peek_outbox()) {
+    EXPECT_NE(env.to, 1u);
+  }
+}
+
+// --- Leader function -----------------------------------------------------------------
+
+TEST(RoundRobinLeader, CyclesThroughAllProcesses) {
+  auto leader = consensus::round_robin_leader(4);
+  EXPECT_EQ(leader(1), 0u);
+  EXPECT_EQ(leader(2), 1u);
+  EXPECT_EQ(leader(4), 3u);
+  EXPECT_EQ(leader(5), 0u);
+  std::set<ProcessId> seen;
+  for (View v = 1; v <= 4; ++v) seen.insert(leader(v));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fastbft::runtime

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include "consensus/selection.hpp"
+#include "sim/random.hpp"
+
+/// Unit and property tests for the selection algorithm (Section 3.2 and
+/// Appendix A.2) — every branch, plus the verifier-side admission check
+/// that underpins progress-certificate soundness.
+
+namespace fastbft::consensus {
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  // Generalized config n = 3f + 2t - 1 with f = 2, t = 1 -> n = 7.
+  // vote_quorum = 5, equivocation threshold f + t = 3.
+  QuorumConfig cfg_ = QuorumConfig::create(7, 2, 1);
+  std::shared_ptr<const crypto::KeyStore> keys_ =
+      std::make_shared<const crypto::KeyStore>(11, 32);
+  crypto::Verifier verifier_{keys_};
+  LeaderFn leader_ = round_robin_leader(7);
+  View target_view_ = 5;
+
+  crypto::Signer signer(ProcessId id) { return crypto::Signer(keys_, id); }
+
+  /// A progress certificate for (x, u) signed by f+1 arbitrary processes.
+  ProgressCert cert_for(const Value& x, View u) {
+    ProgressCert cert;
+    if (u == 1) return cert;
+    for (ProcessId p = 0; p < cfg_.cert_quorum(); ++p) {
+      cert.acks.push_back(SignatureEntry{
+          p, signer(p).sign(kDomCertAck, certack_preimage(x, u))});
+    }
+    return cert;
+  }
+
+  /// A commit certificate for (x, u).
+  CommitCert cc_for(const Value& x, View u) {
+    CommitCert cc;
+    cc.x = x;
+    cc.v = u;
+    for (ProcessId p = 0; p < cfg_.commit_quorum(); ++p) {
+      cc.sigs.push_back(
+          SignatureEntry{p, signer(p).sign(kDomAck, ack_preimage(x, u))});
+    }
+    return cc;
+  }
+
+  /// A fully valid non-nil vote record by `voter` for (x, u).
+  VoteRecord vote(ProcessId voter, const Value& x, View u,
+                  std::optional<CommitCert> cc = std::nullopt) {
+    VoteRecord r;
+    r.voter = voter;
+    r.vote = Vote::of(
+        x, u, cert_for(x, u),
+        signer(leader_(u)).sign(kDomPropose, propose_preimage(x, u)));
+    r.cc = std::move(cc);
+    r.phi = signer(voter).sign(kDomVote,
+                               vote_preimage(r.vote, r.cc, target_view_));
+    return r;
+  }
+
+  VoteRecord nil_vote(ProcessId voter,
+                      std::optional<CommitCert> cc = std::nullopt) {
+    VoteRecord r;
+    r.voter = voter;
+    r.vote = Vote::nil();
+    r.cc = std::move(cc);
+    r.phi = signer(voter).sign(kDomVote,
+                               vote_preimage(r.vote, r.cc, target_view_));
+    return r;
+  }
+
+  void expect_all_valid(const std::vector<VoteRecord>& votes) {
+    for (const auto& r : votes) {
+      EXPECT_TRUE(
+          validate_vote_record(verifier_, cfg_, leader_, r, target_view_))
+          << "voter " << r.voter;
+    }
+  }
+
+  Value x_ = Value::of_string("X");
+  Value y_ = Value::of_string("Y");
+  Value z_ = Value::of_string("Z");
+};
+
+// --- Branch 1: not enough votes -----------------------------------------------
+
+TEST_F(SelectionTest, NeedsVoteQuorum) {
+  std::vector<VoteRecord> votes;
+  for (ProcessId p = 0; p < cfg_.vote_quorum() - 1; ++p) {
+    votes.push_back(nil_vote(p));
+  }
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::NeedMoreVotes);
+}
+
+// --- Branch 2: all nil (Lemma 3.1) ----------------------------------------------
+
+TEST_F(SelectionTest, AllNilMeansFree) {
+  std::vector<VoteRecord> votes;
+  for (ProcessId p = 0; p < cfg_.vote_quorum(); ++p) {
+    votes.push_back(nil_vote(p));
+  }
+  expect_all_valid(votes);
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::Free);
+  EXPECT_FALSE(r.equivocation_detected);
+}
+
+// --- Branch 3: unique value at the highest view (Lemma 3.3) ----------------------
+
+TEST_F(SelectionTest, UniqueValueAtHighestViewForced) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 2));  // lower view, different value: ignored
+  votes.push_back(nil_vote(2));
+  votes.push_back(nil_vote(3));
+  votes.push_back(vote(4, x_, 3));
+  expect_all_valid(votes);
+  auto r = run_selection(cfg_, votes, leader_);
+  ASSERT_EQ(r.kind, SelectionResult::Kind::Forced);
+  EXPECT_EQ(r.value, x_);
+  EXPECT_EQ(r.w, 3u);
+  EXPECT_FALSE(r.equivocation_detected);
+}
+
+TEST_F(SelectionTest, SingleNonNilVoteForcesItsValue) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(6, z_, 1));
+  for (ProcessId p = 0; p < 4; ++p) votes.push_back(nil_vote(p));
+  auto r = run_selection(cfg_, votes, leader_);
+  ASSERT_EQ(r.kind, SelectionResult::Kind::Forced);
+  EXPECT_EQ(r.value, z_);
+}
+
+// --- Branch 4a: equivocation, waiting for non-equivocator votes ------------------
+
+TEST_F(SelectionTest, EquivocationNeedsQuorumExcludingEquivocator) {
+  // Views at w = 3 have two values -> leader(3) = p2 equivocated. p2's own
+  // vote is among the 5 collected, so only 4 non-p2 votes: need more.
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 3));
+  votes.push_back(vote(2, x_, 3));  // the equivocator's own vote
+  votes.push_back(nil_vote(3));
+  votes.push_back(nil_vote(4));
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::NeedMoreVotes);
+  EXPECT_TRUE(r.equivocation_detected);
+  EXPECT_EQ(r.equivocator, 2u);
+}
+
+TEST_F(SelectionTest, ExtraVoteResolvesEquivocationWait) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 3));
+  votes.push_back(vote(2, x_, 3));
+  votes.push_back(nil_vote(3));
+  votes.push_back(nil_vote(4));
+  votes.push_back(nil_vote(5));  // the additional vote
+  auto r = run_selection(cfg_, votes, leader_);
+  // 5 non-equivocator votes: x has 1, y has 1 — below f + t = 3 -> Free.
+  EXPECT_EQ(r.kind, SelectionResult::Kind::Free);
+  EXPECT_TRUE(r.equivocation_detected);
+}
+
+// --- Branch "restart": a later vote raises w -------------------------------------
+
+TEST_F(SelectionTest, HigherViewVoteSupersedesEquivocation) {
+  // Equivocation at view 3, but an additional vote reveals view 4: the
+  // unique value at the (new) highest view wins; p2's misbehaviour at view
+  // 3 becomes irrelevant.
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 3));
+  votes.push_back(vote(2, x_, 3));
+  votes.push_back(nil_vote(3));
+  votes.push_back(nil_vote(4));
+  votes.push_back(vote(5, z_, 4));
+  auto r = run_selection(cfg_, votes, leader_);
+  ASSERT_EQ(r.kind, SelectionResult::Kind::Forced);
+  EXPECT_EQ(r.value, z_);
+  EXPECT_EQ(r.w, 4u);
+  EXPECT_FALSE(r.equivocation_detected);
+}
+
+// --- Branch 4b: commit certificate (Appendix A.2 case 1) --------------------------
+
+TEST_F(SelectionTest, CommitCertificateForcesValue) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 3));
+  votes.push_back(nil_vote(3, cc_for(y_, 3)));  // someone saw y committed
+  votes.push_back(nil_vote(4));
+  votes.push_back(nil_vote(5));
+  expect_all_valid(votes);
+  auto r = run_selection(cfg_, votes, leader_);
+  ASSERT_EQ(r.kind, SelectionResult::Kind::Forced);
+  EXPECT_EQ(r.value, y_);
+  EXPECT_TRUE(r.equivocation_detected);
+}
+
+TEST_F(SelectionTest, StaleCommitCertificateIgnored) {
+  // A cc from view 2 does not force anything when w = 3.
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, y_, 3));
+  votes.push_back(nil_vote(3, cc_for(z_, 2)));
+  votes.push_back(nil_vote(4));
+  votes.push_back(nil_vote(5));
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::Free);
+}
+
+// --- Branch 4c: f + t votes for one value (Lemma 3.4) ------------------------------
+
+TEST_F(SelectionTest, ThresholdVotesForceValue) {
+  // f + t = 3 votes for x at w = 3 from non-equivocator processes.
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, x_, 3));
+  votes.push_back(vote(3, x_, 3));
+  votes.push_back(vote(4, y_, 3));  // the conflicting vote
+  votes.push_back(nil_vote(5));
+  expect_all_valid(votes);
+  auto r = run_selection(cfg_, votes, leader_);
+  ASSERT_EQ(r.kind, SelectionResult::Kind::Forced);
+  EXPECT_EQ(r.value, x_);
+  EXPECT_TRUE(r.equivocation_detected);
+  EXPECT_EQ(r.equivocator, 2u);
+}
+
+TEST_F(SelectionTest, EquivocatorVoteDoesNotCountTowardThreshold) {
+  // x reaches 3 votes only if p2 (the equivocator) counts — it must not.
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, x_, 3));
+  votes.push_back(vote(2, x_, 3));  // equivocator's vote
+  votes.push_back(vote(4, y_, 3));
+  votes.push_back(nil_vote(5));
+  votes.push_back(nil_vote(6));
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::Free);
+}
+
+// --- Branch 4d: nothing forced (Lemma 3.5) -------------------------------------------
+
+TEST_F(SelectionTest, SplitVotesBelowThresholdFree) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(vote(1, x_, 3));
+  votes.push_back(vote(3, y_, 3));
+  votes.push_back(vote(4, y_, 3));
+  votes.push_back(nil_vote(5));
+  auto r = run_selection(cfg_, votes, leader_);
+  EXPECT_EQ(r.kind, SelectionResult::Kind::Free);
+  EXPECT_TRUE(r.equivocation_detected);
+}
+
+// --- Admission (CertAck verifier view) -------------------------------------------------
+
+TEST_F(SelectionTest, AdmissionMatchesSelection) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  votes.push_back(nil_vote(1));
+  votes.push_back(nil_vote(3));
+  votes.push_back(nil_vote(4));
+  votes.push_back(nil_vote(5));
+  EXPECT_TRUE(selection_admits(cfg_, votes, leader_, x_));
+  EXPECT_FALSE(selection_admits(cfg_, votes, leader_, y_));
+}
+
+TEST_F(SelectionTest, FreeAdmitsAnyNonEmptyValue) {
+  std::vector<VoteRecord> votes;
+  for (ProcessId p = 0; p < cfg_.vote_quorum(); ++p) {
+    votes.push_back(nil_vote(p));
+  }
+  EXPECT_TRUE(selection_admits(cfg_, votes, leader_, x_));
+  EXPECT_TRUE(selection_admits(cfg_, votes, leader_, y_));
+  EXPECT_FALSE(selection_admits(cfg_, votes, leader_, Value()));
+}
+
+TEST_F(SelectionTest, NeedMoreVotesAdmitsNothing) {
+  std::vector<VoteRecord> votes;
+  votes.push_back(vote(0, x_, 3));
+  EXPECT_FALSE(selection_admits(cfg_, votes, leader_, x_));
+}
+
+// --- Vote-record validation edge cases ---------------------------------------------------
+
+TEST_F(SelectionTest, ValidationRejectsForgedProposerSignature) {
+  VoteRecord r = vote(0, x_, 3);
+  // Replace tau with a signature by the wrong process.
+  r.vote.tau = signer(5).sign(kDomPropose, propose_preimage(x_, 3));
+  r.phi = signer(0).sign(kDomVote, vote_preimage(r.vote, r.cc, target_view_));
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, target_view_));
+}
+
+TEST_F(SelectionTest, ValidationRejectsMissingProgressCert) {
+  VoteRecord r = vote(0, x_, 3);
+  r.vote.sigma.acks.clear();
+  r.phi = signer(0).sign(kDomVote, vote_preimage(r.vote, r.cc, target_view_));
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, target_view_));
+}
+
+TEST_F(SelectionTest, ValidationRejectsVoteForCurrentOrFutureView) {
+  VoteRecord r = vote(0, x_, 3);
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, 3));
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, 2));
+}
+
+TEST_F(SelectionTest, ValidationRejectsReplayedVoteFromOtherView) {
+  VoteRecord r = vote(0, x_, 3);  // phi binds to view 5
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, 6));
+}
+
+TEST_F(SelectionTest, ValidationRejectsTamperedCommitCert) {
+  CommitCert cc = cc_for(x_, 3);
+  cc.sigs[0].sig.bytes[0] ^= 1;
+  VoteRecord r = nil_vote(0, cc);
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, target_view_));
+}
+
+TEST_F(SelectionTest, ValidationRejectsDuplicateSignersInCert) {
+  // f + 1 = 3 entries but only 2 distinct signers.
+  ProgressCert cert;
+  for (int i = 0; i < 3; ++i) {
+    ProcessId p = i < 2 ? 0 : 1;
+    cert.acks.push_back(SignatureEntry{
+        p, signer(p).sign(kDomCertAck, certack_preimage(x_, 3))});
+  }
+  VoteRecord r;
+  r.voter = 0;
+  r.vote = Vote::of(x_, 3, cert,
+                    signer(leader_(3)).sign(kDomPropose, propose_preimage(x_, 3)));
+  r.phi = signer(0).sign(kDomVote, vote_preimage(r.vote, r.cc, target_view_));
+  EXPECT_FALSE(validate_vote_record(verifier_, cfg_, leader_, r, target_view_));
+}
+
+TEST_F(SelectionTest, NilVoteWithCommitCertIsValid) {
+  VoteRecord r = nil_vote(0, cc_for(x_, 2));
+  EXPECT_TRUE(validate_vote_record(verifier_, cfg_, leader_, r, target_view_));
+}
+
+// --- Property sweeps -----------------------------------------------------------------------
+
+struct VanillaParam {
+  std::uint32_t f;
+  std::uint64_t seed;
+};
+
+class SelectionProperty : public ::testing::TestWithParam<VanillaParam> {};
+
+/// Properties checked on random vote sets:
+///  * selection is deterministic;
+///  * Forced implies at least one vote for that value (or a cc);
+///  * adding votes to a resolved Free/Forced outcome at the same w never
+///    flips Forced(x) to Forced(y != x) unless a strictly higher view
+///    appears (monotonicity that underlies the "restart" step).
+TEST_P(SelectionProperty, RandomVoteSets) {
+  const auto [f, seed] = GetParam();
+  const std::uint32_t n = 5 * f - 1;
+  QuorumConfig cfg = QuorumConfig::vanilla(n, f);
+  auto keys = std::make_shared<const crypto::KeyStore>(seed, n);
+  crypto::Verifier verifier(keys);
+  LeaderFn leader = round_robin_leader(n);
+  sim::Rng rng(seed);
+  const View target = 6;
+
+  Value values[] = {Value::of_string("A"), Value::of_string("B"),
+                    Value::of_string("C")};
+
+  auto make_vote = [&](ProcessId voter) {
+    VoteRecord r;
+    r.voter = voter;
+    if (rng.chance(1, 3)) {
+      r.vote = Vote::nil();
+    } else {
+      const Value& x = values[rng.next_below(3)];
+      View u = 1 + rng.next_below(target - 1);
+      ProgressCert cert;
+      if (u > 1) {
+        for (ProcessId p = 0; p < cfg.cert_quorum(); ++p) {
+          cert.acks.push_back(SignatureEntry{
+              p, crypto::Signer(keys, p).sign(kDomCertAck,
+                                              certack_preimage(x, u))});
+        }
+      }
+      r.vote = Vote::of(x, u, cert,
+                        crypto::Signer(keys, leader(u))
+                            .sign(kDomPropose, propose_preimage(x, u)));
+    }
+    r.phi = crypto::Signer(keys, voter)
+                .sign(kDomVote, vote_preimage(r.vote, r.cc, target));
+    return r;
+  };
+
+  std::vector<VoteRecord> votes;
+  const std::uint32_t num_votes =
+      cfg.vote_quorum() + 1 + static_cast<std::uint32_t>(rng.next_below(f));
+  for (ProcessId p = 0; p < num_votes; ++p) {
+    votes.push_back(make_vote(p));
+    ASSERT_TRUE(validate_vote_record(verifier, cfg, leader, votes.back(), target));
+  }
+
+  auto r1 = run_selection(cfg, votes, leader);
+  auto r2 = run_selection(cfg, votes, leader);
+  EXPECT_EQ(r1.kind, r2.kind);
+  if (r1.kind == SelectionResult::Kind::Forced) {
+    EXPECT_EQ(r1.value, r2.value);
+    bool found = false;
+    for (const auto& rec : votes) {
+      if ((!rec.vote.is_nil && rec.vote.x == r1.value) ||
+          (rec.cc && rec.cc->x == r1.value)) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "forced value must come from the votes";
+    EXPECT_TRUE(selection_admits(cfg, votes, leader, r1.value));
+  }
+  if (r1.kind == SelectionResult::Kind::Free) {
+    EXPECT_TRUE(selection_admits(cfg, votes, leader, values[0]));
+  }
+}
+
+std::vector<VanillaParam> property_params() {
+  std::vector<VanillaParam> params;
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) params.push_back({f, seed});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SelectionProperty,
+                         ::testing::ValuesIn(property_params()),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param.f) + "s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace fastbft::consensus

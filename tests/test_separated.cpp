@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "roles/separated.hpp"
+
+/// Section 4.4: with proposers disjoint from acceptors, 3f + 2t + 1
+/// acceptors are optimal — one process *more* than the merged-roles bound
+/// on each side. The separated-roles mini-protocol and the scripted
+/// attack make both directions executable.
+
+namespace fastbft::roles {
+namespace {
+
+TEST(SeparatedConfig, Quorums) {
+  SeparatedConfig cfg{5, 1, 1, 2};
+  EXPECT_EQ(cfg.fast_quorum(), 4u);
+  EXPECT_EQ(cfg.vote_quorum(), 4u);
+  EXPECT_EQ(cfg.forced_threshold(), 2u);
+  EXPECT_EQ(cfg.proposer_id(1), 5u);
+  EXPECT_EQ(cfg.proposer_id(2), 6u);
+  EXPECT_EQ(cfg.proposer_id(3), 5u);  // wraps over the proposer pool
+  EXPECT_EQ(cfg.total_keys(), 7u);
+}
+
+TEST(SeparatedConfig, TieIsPossibleExactlyBelowFabBound) {
+  // Two values can both reach the forced threshold among m - f votes iff
+  // 2 * threshold <= m - f, i.e. iff m <= 3f + 2t. That inequality is the
+  // whole Section 4.4 story.
+  for (std::uint32_t ff = 1; ff <= 4; ++ff) {
+    for (std::uint32_t tt = 1; tt <= ff; ++tt) {
+      std::uint32_t at_bound = 3 * ff + 2 * tt + 1;  // FaB optimal
+      SeparatedConfig below{at_bound - 1, ff, tt, 2};
+      SeparatedConfig at{at_bound, ff, tt, 2};
+      EXPECT_LE(2 * below.forced_threshold(), below.vote_quorum())
+          << "tie must be constructible below the bound";
+      EXPECT_GT(2 * at.forced_threshold(), at.vote_quorum())
+          << "tie must be impossible at the bound";
+    }
+  }
+}
+
+class SeparatedProtocolTest : public ::testing::Test {
+ protected:
+  SeparatedConfig cfg_{5, 1, 1, 2};
+  std::shared_ptr<const crypto::KeyStore> keys_ =
+      std::make_shared<const crypto::KeyStore>(7, cfg_.total_keys());
+  crypto::Verifier verifier_{keys_};
+  Value x_ = Value::of_string("X");
+
+  crypto::Signature propose_sig(View v, const Value& x) {
+    return crypto::Signer(keys_, cfg_.proposer_id(v))
+        .sign("sep-propose", separated_propose_preimage(x, v));
+  }
+};
+
+TEST_F(SeparatedProtocolTest, AcceptorAcceptsFirstValidProposalOnly) {
+  Acceptor acceptor(cfg_, 0, keys_);
+  EXPECT_TRUE(acceptor.on_propose(1, x_, propose_sig(1, x_)));
+  EXPECT_FALSE(acceptor.on_propose(1, Value::of_string("Y"),
+                                   propose_sig(1, Value::of_string("Y"))));
+}
+
+TEST_F(SeparatedProtocolTest, AcceptorRejectsBadProposerSignature) {
+  Acceptor acceptor(cfg_, 0, keys_);
+  // Signed by an acceptor, not the view's proposer.
+  auto bad = crypto::Signer(keys_, 1).sign("sep-propose",
+                                           separated_propose_preimage(x_, 1));
+  EXPECT_FALSE(acceptor.on_propose(1, x_, bad));
+}
+
+TEST_F(SeparatedProtocolTest, FastQuorumDecides) {
+  Acceptor acceptor(cfg_, 0, keys_);
+  EXPECT_FALSE(acceptor.on_ack(1, 1, x_).has_value());
+  EXPECT_FALSE(acceptor.on_ack(2, 1, x_).has_value());
+  EXPECT_FALSE(acceptor.on_ack(3, 1, x_).has_value());
+  auto decided = acceptor.on_ack(4, 1, x_);  // 4th distinct acker
+  ASSERT_TRUE(decided.has_value());
+  EXPECT_EQ(*decided, x_);
+}
+
+TEST_F(SeparatedProtocolTest, VotesValidateAndBindToView) {
+  Acceptor acceptor(cfg_, 2, keys_);
+  ASSERT_TRUE(acceptor.on_propose(1, x_, propose_sig(1, x_)));
+  SeparatedVote vote = acceptor.enter_view(2);
+  EXPECT_FALSE(vote.is_nil);
+  EXPECT_EQ(vote.x, x_);
+  EXPECT_TRUE(validate_separated_vote(verifier_, cfg_, vote, 2));
+  EXPECT_FALSE(validate_separated_vote(verifier_, cfg_, vote, 3))
+      << "votes must not replay across views";
+}
+
+TEST_F(SeparatedProtocolTest, SelectForcesDecidedValueWhenUnique) {
+  std::vector<SeparatedVote> votes(4);
+  for (int i = 0; i < 4; ++i) votes[static_cast<std::size_t>(i)].voter =
+      static_cast<ProcessId>(i);
+  votes[0].is_nil = false;
+  votes[0].x = x_;
+  votes[0].u = 1;
+  votes[1].is_nil = false;
+  votes[1].x = x_;
+  votes[1].u = 1;
+  auto selected = separated_select(cfg_, votes);
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_EQ(*selected, x_);
+}
+
+TEST_F(SeparatedProtocolTest, SelectFreeWhenAllNil) {
+  std::vector<SeparatedVote> votes(4);
+  for (int i = 0; i < 4; ++i) votes[static_cast<std::size_t>(i)].voter =
+      static_cast<ProcessId>(i);
+  EXPECT_FALSE(separated_select(cfg_, votes).has_value());
+}
+
+TEST_F(SeparatedProtocolTest, SelectTieBreaksToSmallestValue) {
+  // The exploitable ambiguity: two values, each with threshold votes.
+  std::vector<SeparatedVote> votes(4);
+  Value big = Value::of_string("zz");
+  Value small = Value::of_string("aa");
+  for (int i = 0; i < 4; ++i) {
+    auto& v = votes[static_cast<std::size_t>(i)];
+    v.voter = static_cast<ProcessId>(i);
+    v.is_nil = false;
+    v.u = 1;
+    v.x = i < 2 ? big : small;
+  }
+  auto selected = separated_select(cfg_, votes);
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_EQ(*selected, small);
+}
+
+// --- The attack itself --------------------------------------------------------------
+
+TEST(SeparatedAttack, BreaksSafetyBelowFabBound) {
+  // m = 3f + 2t = 5 acceptors: one below FaB's separated-roles optimum.
+  auto outcome = run_separated_attack(5);
+  EXPECT_TRUE(outcome.disagreement) << outcome.describe();
+  EXPECT_NE(outcome.recovered_value, outcome.early_value);
+}
+
+TEST(SeparatedAttack, HarmlessAtFabBound) {
+  // m = 3f + 2t + 1 = 6: the threshold rises to f + t + 1, ties vanish,
+  // and the recovery is forced back to the decided value.
+  auto outcome = run_separated_attack(6);
+  EXPECT_FALSE(outcome.disagreement) << outcome.describe();
+  EXPECT_EQ(outcome.recovered_value, outcome.early_value);
+}
+
+TEST(SeparatedAttack, MarginAboveBound) {
+  for (std::uint32_t m : {7u, 8u}) {
+    auto outcome = run_separated_attack(m);
+    EXPECT_FALSE(outcome.disagreement) << outcome.describe();
+  }
+}
+
+TEST(SeparatedAttack, ContrastWithMergedRoles) {
+  // The punchline of the paper: merged roles need 3f + 2t - 1 = 4, the
+  // separated model needs 3f + 2t + 1 = 6, and the executable attacks
+  // bracket both bounds (test_lower_bound.cpp covers the merged side).
+  EXPECT_TRUE(run_separated_attack(5).disagreement);
+  EXPECT_FALSE(run_separated_attack(6).disagreement);
+}
+
+TEST(SeparatedAttack, DescribeMentionsVerdict) {
+  EXPECT_NE(run_separated_attack(5).describe().find("DISAGREEMENT"),
+            std::string::npos);
+  EXPECT_NE(run_separated_attack(6).describe().find("agreement preserved"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastbft::roles

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace fastbft::sim {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    std::int64_t v = rng.next_in_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.next_in_range(3, 3), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(1);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(1);
+  // Forks advance the parent, so consecutive forks differ.
+  EXPECT_NE(child_a.next_u64(), child_b.next_u64());
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+}
+
+TEST(Scheduler, FifoWithinSameTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  sched.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NestedScheduling) {
+  Scheduler sched;
+  std::vector<TimePoint> fired;
+  sched.schedule_at(10, [&] {
+    fired.push_back(sched.now());
+    sched.schedule_after(5, [&] { fired.push_back(sched.now()); });
+  });
+  sched.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<TimePoint>{10, 15}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  TimerHandle h = sched.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  sched.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtLimit) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(10, [&] { ++count; });
+  sched.schedule_at(20, [&] { ++count; });
+  sched.schedule_at(30, [&] { ++count; });
+  sched.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), 20);
+  EXPECT_EQ(sched.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeWithEmptyQueue) {
+  Scheduler sched;
+  sched.run_until(500);
+  EXPECT_EQ(sched.now(), 500);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenDrained) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.step());
+  sched.schedule_at(1, [] {});
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.executed_events(), 1u);
+}
+
+}  // namespace
+}  // namespace fastbft::sim

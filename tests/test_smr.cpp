@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "net/tags.hpp"
+#include "smr/client.hpp"
+#include "smr/smr_node.hpp"
+
+/// SMR layer: command/batch codecs, the KV state machine, and full
+/// replicated-log executions (fault-free, with crashes, with laggard
+/// catch-up).
+
+namespace fastbft::smr {
+namespace {
+
+// --- Command / batch codecs -----------------------------------------------------
+
+TEST(Command, RoundtripAllKinds) {
+  for (const Command& cmd :
+       {Command::put("k", "v", 7, 3), Command::del("k", 7, 4),
+        Command::noop()}) {
+    auto decoded = Command::from_value(cmd.to_value());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, cmd);
+  }
+}
+
+TEST(Command, RejectsGarbage) {
+  EXPECT_FALSE(Command::from_value(Value::of_string("junk")).has_value());
+  EXPECT_FALSE(Command::from_value(Value()).has_value());
+}
+
+TEST(Command, ToStringReadable) {
+  EXPECT_EQ(Command::put("a", "1").to_string(), "PUT a=1");
+  EXPECT_EQ(Command::del("a").to_string(), "DEL a");
+  EXPECT_EQ(Command::noop().to_string(), "NOOP");
+}
+
+TEST(Batch, Roundtrip) {
+  std::vector<Command> batch = {Command::put("a", "1", 1, 1),
+                                Command::del("b", 1, 2), Command::noop()};
+  auto decoded = decode_batch(encode_batch(batch));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(Batch, RejectsMalformed) {
+  EXPECT_FALSE(decode_batch(Value()).has_value());
+  EXPECT_FALSE(decode_batch(Value::of_string("xx")).has_value());
+  Encoder enc;
+  enc.u32(0);  // empty batch claim
+  EXPECT_FALSE(decode_batch(Value(std::move(enc).take())).has_value());
+}
+
+// --- KvStore ----------------------------------------------------------------------
+
+TEST(KvStoreTest, PutGetDel) {
+  KvStore store;
+  store.apply(Command::put("k1", "v1"));
+  store.apply(Command::put("k2", "v2"));
+  EXPECT_EQ(store.get("k1"), "v1");
+  store.apply(Command::put("k1", "v1b"));
+  EXPECT_EQ(store.get("k1"), "v1b");
+  store.apply(Command::del("k2"));
+  EXPECT_FALSE(store.get("k2").has_value());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.applied_count(), 4u);
+}
+
+TEST(KvStoreTest, DigestReflectsStateAndHistoryLength) {
+  KvStore a, b;
+  a.apply(Command::put("k", "v"));
+  b.apply(Command::put("k", "v"));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  b.apply(Command::noop());
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+// --- Replicated executions ----------------------------------------------------------
+
+/// Builds an SMR cluster without the faulty-marking problem: uses the
+/// node_factory hook (honest default path) instead of replace_process.
+struct SmrCluster {
+  SmrCluster(consensus::QuorumConfig cfg, SmrOptions smr_options,
+             std::uint64_t seed = 1)
+      : nodes(cfg.n, nullptr), options(make_options(cfg, seed)) {
+    options.node_factory = [this, smr_options](
+                               const runtime::ProcessContext& ctx,
+                               const runtime::NodeOptions&,
+                               runtime::Node::DecideCallback) {
+      auto node = std::make_unique<SmrNode>(ctx, smr_options, nullptr);
+      nodes[ctx.id] = node.get();
+      return node;
+    };
+    cluster = std::make_unique<runtime::Cluster>(
+        options, std::vector<Value>(cfg.n, Value::of_string("unused")));
+  }
+
+  static runtime::ClusterOptions make_options(consensus::QuorumConfig cfg,
+                                              std::uint64_t seed) {
+    runtime::ClusterOptions o;
+    o.cfg = cfg;
+    o.net.delta = 100;
+    o.net.min_delay = 100;
+    o.net.seed = seed;
+    return o;
+  }
+
+  std::vector<SmrNode*> nodes;
+  runtime::ClusterOptions options;
+  std::unique_ptr<runtime::Cluster> cluster;
+};
+
+TEST(Smr, ReplicatesCommandsAcrossAllNodes) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 4;
+  smr_options.target_commands = 10;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->start();
+
+  // Submit 10 commands through node 0 (requests broadcast to everyone).
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (int i = 1; i <= 10; ++i) {
+      h.nodes[0]->submit(Command::put("key" + std::to_string(i),
+                                      "val" + std::to_string(i), 1,
+                                      static_cast<std::uint64_t>(i)));
+    }
+  });
+  h.cluster->run_until(200'000);
+
+  for (ProcessId id = 0; id < 4; ++id) {
+    ASSERT_NE(h.nodes[id], nullptr);
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 10u) << "p" << id;
+    EXPECT_EQ(h.nodes[id]->store().get("key7"), "val7") << "p" << id;
+  }
+  // Replica state machines must be byte-identical.
+  auto digest0 = h.nodes[0]->store().state_digest();
+  for (ProcessId id = 1; id < 4; ++id) {
+    EXPECT_EQ(h.nodes[id]->store().state_digest(), digest0) << "p" << id;
+  }
+}
+
+TEST(Smr, BatchingReducesSlotCount) {
+  auto run_with_batch = [](std::uint32_t batch) {
+    auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+    SmrOptions smr_options;
+    smr_options.max_batch = batch;
+    smr_options.target_commands = 12;
+    SmrCluster h(cfg, smr_options);
+    h.cluster->start();
+    h.cluster->scheduler().schedule_at(0, [&] {
+      for (int i = 1; i <= 12; ++i) {
+        h.nodes[1]->submit(Command::put("k" + std::to_string(i), "v", 2,
+                                        static_cast<std::uint64_t>(i)));
+      }
+    });
+    h.cluster->run_until(500'000);
+    EXPECT_EQ(h.nodes[0]->applied_commands(), 12u);
+    return h.nodes[0]->current_slot();
+  };
+  Slot slots_b1 = run_with_batch(1);
+  Slot slots_b6 = run_with_batch(6);
+  EXPECT_GT(slots_b1, slots_b6);
+}
+
+TEST(Smr, DuplicateSubmissionsAppliedOnce) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.target_commands = 3;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int i = 1; i <= 3; ++i) {
+        h.nodes[static_cast<ProcessId>(rep)]->submit(
+            Command::put("k" + std::to_string(i), "v", 9,
+                         static_cast<std::uint64_t>(i)));
+      }
+    }
+  });
+  h.cluster->run_until(200'000);
+  for (ProcessId id = 0; id < 4; ++id) {
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 3u) << "p" << id;
+  }
+}
+
+TEST(Smr, SurvivesNonLeaderCrash) {
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  SmrOptions smr_options;
+  smr_options.target_commands = 6;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->crash_at(5, 450);
+  h.cluster->crash_at(6, 450);
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (int i = 1; i <= 6; ++i) {
+      h.nodes[0]->submit(Command::put("k" + std::to_string(i),
+                                      "v" + std::to_string(i), 1,
+                                      static_cast<std::uint64_t>(i)));
+    }
+  });
+  h.cluster->run_until(2'000'000);
+  for (ProcessId id = 0; id < 5; ++id) {
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 6u) << "p" << id;
+    EXPECT_EQ(h.nodes[id]->store().get("k3"), "v3") << "p" << id;
+  }
+}
+
+TEST(Smr, LeaderCrashMidStream) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.target_commands = 5;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->crash_at(0, 350);  // p0 leads view 1 of every slot
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (int i = 1; i <= 5; ++i) {
+      h.nodes[1]->submit(Command::put("k" + std::to_string(i), "v", 3,
+                                      static_cast<std::uint64_t>(i)));
+    }
+  });
+  h.cluster->run_until(5'000'000);
+  for (ProcessId id = 1; id < 4; ++id) {
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 5u) << "p" << id;
+  }
+  auto digest1 = h.nodes[1]->store().state_digest();
+  EXPECT_EQ(h.nodes[2]->store().state_digest(), digest1);
+  EXPECT_EQ(h.nodes[3]->store().state_digest(), digest1);
+}
+
+TEST(Smr, NoopSlotsWhenIdle) {
+  // Without a target, an idle cluster keeps replicating noop slots; state
+  // digests still match (liveness of the machinery itself).
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.target_commands = 0;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->start();
+  h.cluster->run_until(5'000);
+  EXPECT_GT(h.nodes[0]->noop_slots(), 0u);
+  EXPECT_EQ(h.nodes[0]->applied_commands(), 0u);
+  EXPECT_EQ(h.nodes[0]->store().state_digest(),
+            h.nodes[3]->store().state_digest());
+}
+
+
+// --- Catch-up via SMR_DECIDED state transfer -------------------------------------
+
+TEST(SmrCatchUp, LaggardAdoptsDecidedSlots) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 2;
+  smr_options.target_commands = 4;
+  SmrCluster h(cfg, smr_options);
+
+  // Everything to or from p3 is held back until t = 10000: p3 misses the
+  // live consensus entirely and must catch up through decided claims.
+  h.cluster->set_network_script(
+      [](const net::Envelope& env, TimePoint now) -> std::optional<TimePoint> {
+        if ((env.to == 3 || env.from == 3) && env.from != env.to) {
+          return std::max<TimePoint>(now + 100, 10'000);
+        }
+        return std::nullopt;
+      });
+
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (int i = 1; i <= 4; ++i) {
+      h.nodes[0]->submit(Command::put("k" + std::to_string(i), "v", 5,
+                                      static_cast<std::uint64_t>(i)));
+    }
+  });
+  h.cluster->run_until(300'000);
+
+  for (ProcessId id = 0; id < 4; ++id) {
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 4u) << "p" << id;
+  }
+  EXPECT_EQ(h.nodes[3]->store().state_digest(),
+            h.nodes[0]->store().state_digest())
+      << "the laggard must converge to the same state";
+}
+
+TEST(SmrCatchUp, SubQuorumClaimsAreIgnored) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.target_commands = 2;  // keep advancing after the adopted slot
+  SmrCluster h(cfg, smr_options);
+  h.cluster->start();
+  h.cluster->run_until(0);  // run the start events only
+  ASSERT_EQ(h.nodes[3]->current_slot(), 1u);
+
+  Value claimed = encode_batch({Command::put("evil", "1", 66, 1)});
+  Encoder enc;
+  enc.u8(net::tags::kSmrDecided);
+  enc.u64(1);
+  claimed.encode(enc);
+  Bytes claim = std::move(enc).take();
+
+  // One claim (fewer than f + 1 = 2): nothing may be adopted.
+  h.nodes[3]->on_message(1, claim);
+  EXPECT_EQ(h.nodes[3]->applied_commands(), 0u);
+  EXPECT_EQ(h.nodes[3]->current_slot(), 1u);
+
+  // A second claim from a different process crosses f + 1: adopted.
+  h.nodes[3]->on_message(2, claim);
+  EXPECT_EQ(h.nodes[3]->applied_commands(), 1u);
+  EXPECT_EQ(h.nodes[3]->store().get("evil"), "1");
+  EXPECT_EQ(h.nodes[3]->current_slot(), 2u);
+
+  // Duplicate senders never count twice (checked by construction above:
+  // the same sender repeated would not have crossed the threshold).
+  h.nodes[3]->on_message(2, claim);
+  EXPECT_EQ(h.nodes[3]->applied_commands(), 1u);
+}
+
+
+// --- Client sessions ----------------------------------------------------------------
+
+TEST(ClientTest, CompletesAfterFPlusOneReports) {
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 4;
+  smr_options.target_commands = 3;
+
+  std::vector<SmrNode*> nodes(4, nullptr);
+  runtime::ClusterOptions options = SmrCluster::make_options(cfg, 1);
+  sim::Scheduler* sched = nullptr;
+  std::unique_ptr<Client> client;
+  options.node_factory = [&](const runtime::ProcessContext& ctx,
+                             const runtime::NodeOptions&,
+                             runtime::Node::DecideCallback) {
+    if (!client) {
+      sched = ctx.scheduler;
+      client = std::make_unique<Client>(7, cfg.f, *ctx.scheduler);
+    }
+    auto node = std::make_unique<SmrNode>(ctx, smr_options,
+                                          client->subscription());
+    nodes[ctx.id] = node.get();
+    return node;
+  };
+  runtime::Cluster cluster(options,
+                           std::vector<Value>(4, Value::of_string("-")));
+  cluster.start();
+  cluster.scheduler().schedule_at(0, [&] {
+    client->submit(*nodes[0], Command::put("a", "1"));
+    client->submit(*nodes[0], Command::put("b", "2"));
+    client->submit(*nodes[0], Command::del("a"));
+  });
+  cluster.run_until(100'000);
+
+  ASSERT_TRUE(client->all_complete());
+  ASSERT_EQ(client->completions().size(), 3u);
+  auto stats = client->latency_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->min, 0);
+  EXPECT_GE(stats->max, stats->median);
+  // Sequences were assigned 1..3 and completed in submission order here.
+  EXPECT_EQ(client->completions()[0].command.key, "a");
+  EXPECT_EQ(client->completions()[2].command.kind, OpKind::Del);
+}
+
+TEST(ClientTest, SingleReportIsNotCompletion) {
+  sim::Scheduler sched;
+  Client client(9, /*f=*/1, sched);
+  Command cmd = Command::put("k", "v");
+  cmd.client_id = 9;
+  cmd.sequence = 1;
+
+  // Inject reports directly: one replica reporting is not enough at f = 1.
+  auto subscription = client.subscription();
+  // Simulate a submit without a gateway (register in-flight by hand is not
+  // exposed; go through a throwaway node-less path: the subscription
+  // simply ignores unknown sequences).
+  subscription(0, 1, {cmd});
+  EXPECT_TRUE(client.completions().empty());
+  EXPECT_EQ(client.pending(), 0u) << "unknown sequences are ignored";
+}
+
+TEST(ClientTest, CompletionSurvivesReplicaCrash) {
+  auto cfg = consensus::QuorumConfig::create(7, 2, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 4;
+  smr_options.target_commands = 4;
+
+  std::vector<SmrNode*> nodes(7, nullptr);
+  runtime::ClusterOptions options = SmrCluster::make_options(cfg, 3);
+  std::unique_ptr<Client> client;
+  options.node_factory = [&](const runtime::ProcessContext& ctx,
+                             const runtime::NodeOptions&,
+                             runtime::Node::DecideCallback) {
+    if (!client) client = std::make_unique<Client>(5, cfg.f, *ctx.scheduler);
+    auto node = std::make_unique<SmrNode>(ctx, smr_options,
+                                          client->subscription());
+    nodes[ctx.id] = node.get();
+    return node;
+  };
+  runtime::Cluster cluster(options,
+                           std::vector<Value>(7, Value::of_string("-")));
+  cluster.crash_at(6, 400);
+  cluster.start();
+  cluster.scheduler().schedule_at(0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      client->submit(*nodes[1], Command::put("k" + std::to_string(i), "v"));
+    }
+  });
+  cluster.run_until(2'000'000);
+  EXPECT_TRUE(client->all_complete());
+  EXPECT_EQ(client->completions().size(), 4u);
+}
+
+}  // namespace
+}  // namespace fastbft::smr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "net/tags.hpp"
+#include "runtime/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace fastbft::trace {
+namespace {
+
+runtime::ClusterOptions lockstep() {
+  runtime::ClusterOptions options;
+  options.cfg = consensus::QuorumConfig::create(4, 1, 1);
+  options.net.delta = 100;
+  options.net.min_delay = 100;
+  return options;
+}
+
+std::vector<Value> inputs() {
+  return {Value::of_string("a"), Value::of_string("b"),
+          Value::of_string("c"), Value::of_string("d")};
+}
+
+TEST(Trace, RecordsEveryMessage) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_EQ(recorder.messages().size(),
+            cluster.network().stats().total_messages());
+}
+
+TEST(Trace, TagFilter) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  auto proposes = recorder.of_tag(net::tags::kPropose);
+  EXPECT_EQ(proposes.size(), 4u);  // one broadcast from the leader
+  for (const auto& m : proposes) {
+    EXPECT_EQ(m.from, 0u);
+    EXPECT_EQ(m.sent, 0);
+  }
+}
+
+TEST(Trace, DeliveryTimesRespectDelta) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  for (const auto& m : recorder.messages()) {
+    if (m.from == m.to) {
+      EXPECT_EQ(m.delivered, m.sent);
+    } else {
+      EXPECT_EQ(m.delivered - m.sent, 100);  // lock-step
+    }
+  }
+}
+
+TEST(Trace, RenderCollapsesBroadcasts) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+
+  RenderOptions options;
+  options.tags = {net::tags::kPropose};
+  std::string diagram = render_sequence(recorder, 4, options);
+  // Leader's broadcast renders as one line to '*', not four lines.
+  EXPECT_NE(diagram.find("p0 -> *"), std::string::npos);
+  EXPECT_NE(diagram.find("PROPOSE"), std::string::npos);
+  EXPECT_EQ(diagram.find("ACK"), std::string::npos) << "tag filter leaked";
+}
+
+TEST(Trace, RenderHidesSelfSendsByDefault) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  std::string diagram = render_sequence(recorder, 4, {});
+  EXPECT_EQ(diagram.find("p0 -> {p0}"), std::string::npos);
+}
+
+TEST(Trace, RenderUntilCutsOff) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  RenderOptions options;
+  options.until = 50;  // only the t=0 sends
+  std::string diagram = render_sequence(recorder, 4, options);
+  // No rendered line may *start* at t=100 (note "delivered t=100" appears
+  // inside the t=0 lines).
+  EXPECT_EQ(diagram.find("\nt=100\t"), std::string::npos);
+  EXPECT_EQ(diagram.rfind("t=0\t", 0), 0u) << "first line must be a t=0 send";
+}
+
+TEST(Trace, ParkedMessagesMarkedDelayed) {
+  sim::Scheduler sched;
+  net::SimNetworkConfig config;
+  config.delta = 100;
+  config.min_delay = 100;
+  net::SimNetwork network(sched, 2, config);
+  network.attach(0, [](ProcessId, const Bytes&) {});
+  network.attach(1, [](ProcessId, const Bytes&) {});
+  TraceRecorder recorder(network);
+  network.set_script([](const net::Envelope&, TimePoint) {
+    return std::optional<TimePoint>(kTimeInfinity);
+  });
+  network.send(0, 1, {net::tags::kAck});
+  ASSERT_EQ(recorder.messages().size(), 1u);
+  EXPECT_GE(recorder.messages()[0].delivered, kTimeInfinity);
+  std::string diagram = render_sequence(recorder, 2, {});
+  EXPECT_NE(diagram.find("delayed indefinitely"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  runtime::Cluster cluster(lockstep(), inputs());
+  TraceRecorder recorder(cluster.network());
+  cluster.start();
+  ASSERT_TRUE(cluster.run_until_all_correct_decided(10'000));
+  EXPECT_FALSE(recorder.messages().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.messages().empty());
+}
+
+}  // namespace
+}  // namespace fastbft::trace

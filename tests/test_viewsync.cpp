@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+#include "viewsync/synchronizer.hpp"
+
+/// The synchronizer's three required properties (Section 3 of the paper),
+/// exercised over the simulated network.
+
+namespace fastbft::viewsync {
+namespace {
+
+struct SyncHarness {
+  explicit SyncHarness(std::uint32_t n, std::uint32_t f,
+                       net::SimNetworkConfig net_cfg = {},
+                       Duration base_timeout = 1000) {
+    net_cfg.delta = 100;
+    if (net_cfg.min_delay == 0) net_cfg.min_delay = 100;
+    network = std::make_unique<net::SimNetwork>(sched, n, net_cfg);
+    for (ProcessId id = 0; id < n; ++id) {
+      endpoints.push_back(network->endpoint(id));
+      SynchronizerConfig cfg;
+      cfg.base_timeout = base_timeout;
+      cfg.f = f;
+      syncs.push_back(std::make_unique<Synchronizer>(
+          cfg, id, *endpoints.back(), sched, [this, id](View v) {
+            entered[id].push_back({v, sched.now()});
+          }));
+      network->attach(id, [this, id](ProcessId from, const Bytes& payload) {
+        syncs[id]->on_message(from, payload);
+      });
+    }
+  }
+
+  void start_all() {
+    for (auto& s : syncs) s->start();
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<net::SimNetwork> network;
+  std::vector<std::unique_ptr<net::SimEndpoint>> endpoints;
+  std::vector<std::unique_ptr<Synchronizer>> syncs;
+  std::map<ProcessId, std::vector<std::pair<View, TimePoint>>> entered;
+};
+
+TEST(WishMsg, Roundtrip) {
+  WishMsg m{42};
+  auto parsed = parse_wish(m.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->w, 42u);
+}
+
+TEST(WishMsg, RejectsForeignAndMalformed) {
+  EXPECT_FALSE(parse_wish({}).has_value());
+  EXPECT_FALSE(parse_wish({0x01, 0x02}).has_value());  // consensus tag
+  Bytes truncated = WishMsg{42}.serialize();
+  truncated.pop_back();
+  EXPECT_FALSE(parse_wish(truncated).has_value());
+}
+
+TEST(Synchronizer, NoTimeoutNoViewChange) {
+  SyncHarness h(4, 1);
+  h.start_all();
+  h.sched.run_until(900);  // below base_timeout
+  for (const auto& [id, views] : h.entered) {
+    EXPECT_TRUE(views.empty());
+  }
+}
+
+TEST(Synchronizer, AllTimeoutsAdvanceTogether) {
+  SyncHarness h(4, 1);
+  h.start_all();
+  h.sched.run_until(1'500);
+  for (ProcessId id = 0; id < 4; ++id) {
+    ASSERT_FALSE(h.entered[id].empty()) << "p" << id;
+    EXPECT_EQ(h.entered[id].front().first, 2u);
+  }
+}
+
+TEST(Synchronizer, ViewsNeverDecrease) {
+  SyncHarness h(4, 1, {}, 500);
+  h.start_all();
+  h.sched.run_until(20'000);
+  for (ProcessId id = 0; id < 4; ++id) {
+    View last = 1;
+    for (const auto& [v, time] : h.entered[id]) {
+      EXPECT_GT(v, last) << "p" << id;
+      last = v;
+    }
+    EXPECT_GT(last, 2u) << "views must keep advancing while un-stopped";
+  }
+}
+
+TEST(Synchronizer, LaggardsAreDraggedForward) {
+  // Only 3 of 4 processes run timers (one never times out — e.g. its timer
+  // is hugely long); f+1 amplification must still pull it into new views.
+  SyncHarness h(4, 1);
+  for (ProcessId id = 0; id < 3; ++id) h.syncs[id]->start();
+  // p3 never starts its timer but still receives wishes.
+  h.sched.run_until(2'000);
+  ASSERT_FALSE(h.entered[3].empty());
+  EXPECT_EQ(h.entered[3].front().first, 2u);
+}
+
+TEST(Synchronizer, StopFreezesView) {
+  SyncHarness h(4, 1, {}, 500);
+  h.start_all();
+  h.sched.run_until(700);
+  h.syncs[0]->stop();
+  std::size_t count_at_stop = h.entered[0].size();
+  h.sched.run_until(10'000);
+  EXPECT_EQ(h.entered[0].size(), count_at_stop);
+}
+
+TEST(Synchronizer, ByzantineWishesCannotForceViewChange) {
+  // f Byzantine wishers alone (no correct timeout) must not move anyone:
+  // entering needs 2f+1 distinct wishers.
+  SyncHarness h(4, 1, {}, 1'000'000);  // correct timers effectively never fire
+  h.start_all();
+  // One Byzantine process (f = 1) spams wishes for view 99.
+  h.endpoints[3]->broadcast_others(WishMsg{99}.serialize());
+  h.sched.run_until(50'000);
+  for (ProcessId id = 0; id < 3; ++id) {
+    EXPECT_TRUE(h.entered[id].empty()) << "p" << id;
+  }
+}
+
+TEST(Synchronizer, TimeoutsGrowExponentially) {
+  SyncHarness h(4, 1, {}, 500);
+  h.start_all();
+  h.sched.run_until(200'000);
+  // Gaps between consecutive view entries must grow.
+  const auto& views = h.entered[0];
+  ASSERT_GE(views.size(), 4u);
+  Duration prev_gap = 0;
+  for (std::size_t i = 1; i < views.size(); ++i) {
+    Duration gap = views[i].second - views[i - 1].second;
+    EXPECT_GE(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(Synchronizer, ConvergesDespitePreGstChaos) {
+  net::SimNetworkConfig net_cfg;
+  net_cfg.gst = 10'000;
+  net_cfg.pre_gst_max_delay = 8'000;
+  net_cfg.seed = 11;
+  SyncHarness h(7, 2, net_cfg, 800);
+  h.start_all();
+  h.sched.run_until(120'000);
+  // All processes eventually share a recent view.
+  View max_view = 0;
+  for (ProcessId id = 0; id < 7; ++id) {
+    ASSERT_FALSE(h.entered[id].empty());
+    max_view = std::max(max_view, h.entered[id].back().first);
+  }
+  for (ProcessId id = 0; id < 7; ++id) {
+    EXPECT_GE(h.syncs[id]->view() + 1, max_view) << "p" << id;
+  }
+}
+
+
+TEST(Synchronizer, PostGstStabilityWindow) {
+  // Property 3 of the paper: once a correct leader is elected after GST,
+  // no correct process changes its view for at least 5 * Delta. With a
+  // base timeout of >= 5 * Delta and exponential growth, every view
+  // entered after GST lasts at least that long.
+  net::SimNetworkConfig net_cfg;
+  net_cfg.gst = 5'000;
+  net_cfg.pre_gst_max_delay = 4'000;
+  net_cfg.seed = 3;
+  SyncHarness h(4, 1, net_cfg, /*base_timeout=*/600);  // 6 * Delta
+  h.start_all();
+  h.sched.run_until(400'000);
+
+  // "Elected" means every correct process holds the view. For each view
+  // elected after GST, the window [last entry, first exit] must span at
+  // least 5 * Delta. (Individual processes may transit stale views quickly
+  // while catching up — that is allowed.)
+  std::map<View, TimePoint> last_entry, first_exit;
+  for (ProcessId id = 0; id < 4; ++id) {
+    const auto& entries = h.entered[id];
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto [v, at] = entries[i];
+      last_entry[v] = std::max(last_entry.contains(v) ? last_entry[v] : 0, at);
+      if (i + 1 < entries.size()) {
+        TimePoint exit = entries[i + 1].second;
+        first_exit[v] = first_exit.contains(v)
+                            ? std::min(first_exit[v], exit)
+                            : exit;
+      }
+    }
+  }
+  int checked = 0;
+  for (const auto& [v, entry] : last_entry) {
+    // Skip views whose WISH exchange may straddle GST (stale pre-GST
+    // wishes can arrive up to GST + Delta and smear the election).
+    if (entry < 6'000 || !first_exit.contains(v)) continue;
+    EXPECT_GE(first_exit[v] - entry, 500) << "view " << v;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0) << "at least one post-GST elected view expected";
+}
+
+TEST(Synchronizer, AllCorrectConvergeToSameViewEventually) {
+  SyncHarness h(7, 2, {}, 700);
+  h.start_all();
+  h.sched.run_until(3'000);
+  // After the shared timeout everyone should sit in the same view.
+  View v0 = h.syncs[0]->view();
+  for (ProcessId id = 1; id < 7; ++id) {
+    EXPECT_EQ(h.syncs[id]->view(), v0) << "p" << id;
+  }
+  EXPECT_GT(v0, 1u);
+}
+
+TEST(Synchronizer, TimeoutCounterAdvances) {
+  SyncHarness h(4, 1, {}, 500);
+  h.start_all();
+  h.sched.run_until(10'000);
+  EXPECT_GT(h.syncs[0]->timeouts_fired(), 1u);
+}
+}  // namespace
+}  // namespace fastbft::viewsync
