@@ -53,6 +53,11 @@ class Decoder {
  public:
   explicit Decoder(const Bytes& data) : data_(data) {}
 
+  /// The decoder only borrows its input; binding it to a temporary would
+  /// leave `data_` dangling after the full expression. Callers must keep
+  /// the buffer alive for the decoder's lifetime.
+  explicit Decoder(Bytes&&) = delete;
+
   std::uint8_t u8();
   std::uint16_t u16();
   std::uint32_t u32();
@@ -95,5 +100,11 @@ std::optional<T> decode_from_bytes(const Bytes& data) {
   if (!v.has_value() || !dec.ok() || !dec.at_end()) return std::nullopt;
   return v;
 }
+
+/// Deleted: see Decoder(Bytes&&). Passing a temporary buffer is safe for
+/// the duration of this call, but deleting it keeps call sites uniform and
+/// makes the borrow rule impossible to get wrong when refactoring.
+template <typename T>
+std::optional<T> decode_from_bytes(Bytes&&) = delete;
 
 }  // namespace fastbft

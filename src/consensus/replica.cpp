@@ -57,8 +57,20 @@ bool Replica::buffer_if_future(ProcessId from, const Message& msg,
   }
   View v = message_view(msg);
   if (v <= view_) return false;
-  constexpr std::size_t kMaxBuffered = 100'000;
-  if (future_buffered_total_ >= kMaxBuffered) return true;  // drop
+  while (future_buffered_total_ >= options_.max_future_buffered) {
+    // Full. Evict from the farthest-future view — the synchronizer reaches
+    // nearer views first, so their messages are the ones worth keeping. A
+    // message farther than everything buffered is dropped outright.
+    auto farthest = future_buffer_.rbegin();
+    if (farthest == future_buffer_.rend() || farthest->first <= v) {
+      return true;  // drop the incoming message
+    }
+    farthest->second.pop_back();
+    --future_buffered_total_;
+    if (farthest->second.empty()) {
+      future_buffer_.erase(std::prev(future_buffer_.end()));
+    }
+  }
   future_buffer_[v].emplace_back(from, payload);
   ++future_buffered_total_;
   return true;

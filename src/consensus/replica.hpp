@@ -32,6 +32,13 @@ struct ReplicaOptions {
   /// responders either way), more traffic, marginally faster certificate
   /// assembly under faults.
   bool cert_req_broadcast = false;
+
+  /// Cap on messages buffered for views not yet entered. A Byzantine
+  /// flooder spraying far-future views would otherwise grow the buffer
+  /// without bound; at the cap, entries for the farthest-future view are
+  /// evicted in favour of nearer ones (which the synchronizer will reach
+  /// first), and messages farther than everything buffered are dropped.
+  std::size_t max_future_buffered = 4096;
 };
 
 /// Everything a replica observed about one decision; surfaced to the
@@ -75,6 +82,10 @@ class Replica {
   /// Size in bytes of the largest progress certificate this replica has
   /// ever accepted in a proposal (experiment E4).
   std::size_t max_cert_bytes_seen() const { return max_cert_bytes_seen_; }
+
+  /// Messages currently buffered for future views (bounded by
+  /// ReplicaOptions::max_future_buffered).
+  std::size_t future_buffered_total() const { return future_buffered_total_; }
 
  private:
   struct LeaderState {

@@ -1,0 +1,53 @@
+#include "engine/catchup.hpp"
+
+#include "common/codec.hpp"
+#include "net/tags.hpp"
+
+namespace fastbft::engine {
+
+void CatchUpPolicy::record_decided(Slot slot, Value value) {
+  decided_.emplace(slot, std::move(value));
+  // The local decision supersedes any claim set.
+  claims_.erase(slot);
+  claim_senders_.erase(slot);
+}
+
+const Value* CatchUpPolicy::decided(Slot slot) const {
+  auto it = decided_.find(slot);
+  return it == decided_.end() ? nullptr : &it->second;
+}
+
+std::optional<Value> CatchUpPolicy::add_claim(Slot slot, ProcessId from,
+                                              const Value& value) {
+  if (decided_.contains(slot)) return std::nullopt;
+  // One counted claim per (slot, sender): honest replicas reply at most
+  // once per peer, so repeats are Byzantine; ignoring them bounds the
+  // per-slot claim state by the cluster size.
+  if (!claim_senders_[slot].insert(from).second) return std::nullopt;
+  auto& claimants = claims_[slot][value.bytes()];
+  claimants.insert(from);
+  if (claimants.size() >= threshold_) return Value(value);
+  return std::nullopt;
+}
+
+std::optional<Value> CatchUpPolicy::ready_claim(Slot slot) const {
+  auto it = claims_.find(slot);
+  if (it == claims_.end()) return std::nullopt;
+  for (const auto& [value_bytes, claimants] : it->second) {
+    if (claimants.size() >= threshold_) return Value(Bytes(value_bytes));
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to) {
+  const Value* value = decided(slot);
+  if (!value) return std::nullopt;
+  if (!reply_sent_.insert({slot, to}).second) return std::nullopt;
+  Encoder enc;
+  enc.u8(net::tags::kSmrDecided);
+  enc.u64(slot);
+  value->encode(enc);
+  return std::move(enc).take();
+}
+
+}  // namespace fastbft::engine

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/types.hpp"
+#include "common/value.hpp"
+
+/// \file catchup.hpp
+/// Decided-slot state-transfer policy. Fast-path acks are not transferable
+/// proof of a decision, so a laggard adopts slot s's value only after f + 1
+/// distinct processes claim the same decided value (at least one of them is
+/// correct). This object tracks incoming claims per slot, retains decided
+/// values for serving laggards, and dedups outgoing replies per (slot,
+/// peer). Claim state is garbage-collected the moment a slot's decision is
+/// known locally; decided values are retained indefinitely — any replica
+/// may lag arbitrarily far behind (bounding retention requires snapshot
+/// transfer, a ROADMAP item).
+///
+/// Flood resistance: only a sender's first claim per slot counts (honest
+/// replicas send exactly one reply per (slot, peer), so later ones are
+/// Byzantine by construction), which bounds claim state per slot by the
+/// cluster size; the engine additionally rejects claims beyond its
+/// pipeline window, bounding the number of slots with live claim state.
+
+namespace fastbft::engine {
+
+class CatchUpPolicy {
+ public:
+  /// `threshold` is f + 1: the claim count that proves a decision.
+  explicit CatchUpPolicy(std::uint32_t threshold) : threshold_(threshold) {}
+
+  /// Records a locally-known decision and drops the slot's claim state.
+  void record_decided(Slot slot, Value value);
+
+  /// The decided value for `slot`, or nullptr if unknown.
+  const Value* decided(Slot slot) const;
+
+  /// Feeds one SMR_DECIDED claim. Returns the claimed value once f + 1
+  /// distinct claimants agree on it (nullopt before that, and always for
+  /// slots whose decision is already known).
+  std::optional<Value> add_claim(Slot slot, ProcessId from,
+                                 const Value& value);
+
+  /// A claim set for `slot` that already crossed the threshold, if any.
+  std::optional<Value> ready_claim(Slot slot) const;
+
+  /// Builds the serialized SMR_DECIDED reply for `to`, once per (slot,
+  /// peer); nullopt if already sent or the slot is undecided.
+  std::optional<Bytes> reply_for(Slot slot, ProcessId to);
+
+  std::size_t decided_count() const { return decided_.size(); }
+
+ private:
+  std::uint32_t threshold_;
+  std::map<Slot, Value> decided_;
+  /// slot -> claimed value bytes -> claimants.
+  std::map<Slot, std::map<Bytes, std::set<ProcessId>>> claims_;
+  /// slot -> senders whose (single counted) claim was recorded.
+  std::map<Slot, std::set<ProcessId>> claim_senders_;
+  std::set<std::pair<Slot, ProcessId>> reply_sent_;
+};
+
+}  // namespace fastbft::engine

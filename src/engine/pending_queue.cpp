@@ -1,0 +1,47 @@
+#include "engine/pending_queue.hpp"
+
+namespace fastbft::engine {
+
+bool PendingQueue::admit(const smr::Command& cmd) {
+  if (cmd.kind == smr::OpKind::Noop) return false;
+  CommandId id = id_of(cmd);
+  if (applied_.contains(id)) return false;
+  if (!seen_.insert(id).second) return false;
+  pending_.push_back(cmd);
+  return true;
+}
+
+std::vector<smr::Command> PendingQueue::claim(Slot slot,
+                                              std::uint32_t max_batch) {
+  std::vector<smr::Command> batch;
+  for (const auto& cmd : pending_) {
+    CommandId id = id_of(cmd);
+    if (applied_.contains(id) || claimed_.contains(id)) continue;
+    batch.push_back(cmd);
+    claimed_.insert(id);
+    claims_by_slot_[slot].push_back(id);
+    if (batch.size() >= max_batch) break;
+  }
+  return batch;
+}
+
+void PendingQueue::release(Slot slot) {
+  auto it = claims_by_slot_.find(slot);
+  if (it == claims_by_slot_.end()) return;
+  for (const CommandId& id : it->second) claimed_.erase(id);
+  claims_by_slot_.erase(it);
+}
+
+bool PendingQueue::applied(const smr::Command& cmd) {
+  if (!applied_.insert(id_of(cmd)).second) return false;
+  trim_applied_prefix();
+  return true;
+}
+
+void PendingQueue::trim_applied_prefix() {
+  while (!pending_.empty() && applied_.contains(id_of(pending_.front()))) {
+    pending_.pop_front();
+  }
+}
+
+}  // namespace fastbft::engine

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "smr/command.hpp"
+
+/// \file pending_queue.hpp
+/// Client-command intake policy for the slot-multiplexed engine: request
+/// dedup, at-most-once apply bookkeeping, and *claims* — when several
+/// consensus slots are in flight concurrently, each slot's proposal claims
+/// a disjoint prefix of the pending queue so a leader pipelines distinct
+/// batches instead of proposing the same commands `depth` times. Claims are
+/// released when their slot retires (dedup at apply time keeps duplicate
+/// proposals harmless either way; claims are purely a throughput measure).
+
+namespace fastbft::engine {
+
+class PendingQueue {
+ public:
+  /// (client_id, sequence) — the at-most-once identity of a command.
+  using CommandId = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Accepts a client request into the queue. Returns false for noops,
+  /// duplicates of anything already seen, and already-applied commands.
+  bool admit(const smr::Command& cmd);
+
+  /// Claims up to `max_batch` unclaimed, unapplied commands for `slot`.
+  /// May return fewer (or none) if the queue is drained or claimed.
+  std::vector<smr::Command> claim(Slot slot, std::uint32_t max_batch);
+
+  /// Releases `slot`'s claims (call when the slot's decision was applied).
+  void release(Slot slot);
+
+  /// Records a decided command as applied. Returns true on the first
+  /// application, false for duplicates (which the caller must skip).
+  bool applied(const smr::Command& cmd);
+
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t claimed_count() const { return claimed_.size(); }
+
+ private:
+  static CommandId id_of(const smr::Command& cmd) {
+    return {cmd.client_id, cmd.sequence};
+  }
+  void trim_applied_prefix();
+
+  std::deque<smr::Command> pending_;
+  std::set<CommandId> seen_;
+  std::set<CommandId> applied_;
+  std::set<CommandId> claimed_;
+  std::map<Slot, std::vector<CommandId>> claims_by_slot_;
+};
+
+}  // namespace fastbft::engine

@@ -1,0 +1,209 @@
+#include "engine/slot_mux.hpp"
+
+#include "common/assert.hpp"
+#include "net/tags.hpp"
+
+namespace fastbft::engine {
+
+namespace {
+
+Bytes wrap(Slot slot, const Bytes& inner) {
+  Encoder enc;
+  enc.u8(net::tags::kSmrWrapped);
+  enc.u64(slot);
+  enc.bytes(inner);
+  return std::move(enc).take();
+}
+
+}  // namespace
+
+void SlotMux::SlotChannel::send(ProcessId to, Bytes payload) {
+  mux_.send_wrapped(slot_, to, std::move(payload));
+}
+
+std::uint32_t SlotMux::SlotChannel::cluster_size() const {
+  return mux_.transport_.cluster_size();
+}
+
+ProcessId SlotMux::SlotChannel::self() const {
+  return mux_.transport_.self();
+}
+
+SlotMux::SlotMux(const runtime::ProcessContext& ctx,
+                 net::Transport& transport, SlotMuxOptions options,
+                 ApplyFn apply)
+    : ctx_(ctx),
+      transport_(transport),
+      options_(options),
+      apply_(std::move(apply)),
+      timers_(*ctx.scheduler),
+      catchup_(ctx.cfg.f + 1) {
+  FASTBFT_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+}
+
+SlotMux::~SlotMux() = default;
+
+void SlotMux::start() { fill_window(); }
+
+bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
+
+void SlotMux::send_wrapped(Slot slot, ProcessId to, Bytes payload) {
+  transport_.send(to, wrap(slot, payload));
+}
+
+void SlotMux::fill_window() {
+  while (!done() && next_start_ < next_apply_ + options_.pipeline_depth) {
+    start_slot(next_start_++);
+  }
+}
+
+Value SlotMux::make_input(Slot slot) {
+  std::vector<smr::Command> batch = pending_.claim(slot, options_.max_batch);
+  if (batch.empty()) batch.push_back(smr::Command::noop());
+  return smr::encode_batch(batch);
+}
+
+consensus::LeaderFn SlotMux::leader_for(Slot slot) const {
+  if (!options_.rotate_leaders || slot == 1) return ctx_.leader_of;
+  return [base = ctx_.leader_of, shift = slot - 1](View v) {
+    return base(v + shift);
+  };
+}
+
+void SlotMux::start_slot(Slot slot) {
+  Instance inst;
+  inst.channel = std::make_unique<SlotChannel>(*this, slot);
+
+  viewsync::SynchronizerConfig sync_cfg = options_.node.sync;
+  sync_cfg.f = ctx_.cfg.f;
+
+  auto on_decide = [this, slot](const consensus::DecisionRecord& record) {
+    // Deciding happens inside the replica's message handler; defer the
+    // teardown so we never destroy an executing replica.
+    ctx_.scheduler->schedule_after(0, [this, slot, value = record.value] {
+      on_slot_decided(slot, value);
+    });
+  };
+
+  inst.replica = std::make_unique<consensus::Replica>(
+      ctx_.cfg, ctx_.id, make_input(slot), *inst.channel,
+      crypto::Signer(ctx_.keys, ctx_.id), crypto::Verifier(ctx_.keys),
+      leader_for(slot), on_decide, options_.node.replica);
+  inst.sync = std::make_unique<viewsync::Synchronizer>(
+      sync_cfg, ctx_.id, *inst.channel, timers_,
+      [replica = inst.replica.get()](View v) { replica->enter_view(v); });
+
+  auto [it, inserted] = active_.emplace(slot, std::move(inst));
+  FASTBFT_ASSERT(inserted, "slot already active");
+  it->second.sync->start();
+  it->second.replica->start();
+  note_inflight();
+
+  // A laggard may already hold f + 1 matching decided claims for this slot.
+  if (auto claim = catchup_.ready_claim(slot)) {
+    ctx_.scheduler->schedule_after(0, [this, slot, value = *claim] {
+      on_slot_decided(slot, value);
+    });
+  }
+}
+
+void SlotMux::on_slot_decided(Slot slot, const Value& value) {
+  auto it = active_.find(slot);
+  if (it == active_.end()) return;  // decision already processed
+  it->second.sync->stop();
+  active_.erase(it);
+
+  catchup_.record_decided(slot, value);
+  reorder_.emplace(slot, value);
+  reorder_high_water_ = std::max(reorder_high_water_, reorder_.size());
+
+  drain_apply();
+  fill_window();
+  note_inflight();
+}
+
+void SlotMux::drain_apply() {
+  for (auto it = reorder_.find(next_apply_); it != reorder_.end();
+       it = reorder_.find(next_apply_)) {
+    apply_value(next_apply_, it->second);
+    reorder_.erase(it);
+    ++next_apply_;
+  }
+}
+
+void SlotMux::apply_value(Slot slot, const Value& value) {
+  auto batch = smr::decode_batch(value);
+  std::vector<smr::Command> applied;
+  if (batch) {
+    for (const auto& cmd : *batch) {
+      if (cmd.kind == smr::OpKind::Noop) continue;
+      if (!pending_.applied(cmd)) continue;  // duplicate
+      applied.push_back(cmd);
+    }
+  }
+  // A decided value that is not a valid batch is treated as a no-op (can
+  // only happen if a Byzantine leader proposed garbage — agreement still
+  // holds, the state machine just skips it deterministically).
+  if (applied.empty()) ++noop_slots_;
+  applied_commands_ += applied.size();
+  pending_.release(slot);
+  if (apply_) apply_(slot, applied);
+}
+
+void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  dec.u8();
+  Slot slot = dec.u64();
+  Bytes inner = dec.bytes();
+  if (!dec.ok() || !dec.at_end() || slot == 0) return;
+
+  if (catchup_.decided(slot) != nullptr) {
+    // Traffic for a slot we already decided marks the sender as a laggard:
+    // answer with the decided value (classic state transfer; fast-path
+    // acks are not transferable proof).
+    if (auto reply = catchup_.reply_for(slot, from)) {
+      transport_.send(from, std::move(*reply));
+    }
+    return;
+  }
+  if (slot >= next_start_) {
+    // Someone is ahead of us; their slot traffic is useless until we catch
+    // up. Nothing to buffer: catch-up runs on SMR_DECIDED claims.
+    return;
+  }
+  auto it = active_.find(slot);
+  if (it == active_.end()) return;
+  if (!inner.empty() && inner[0] == net::tags::kWish) {
+    it->second.sync->on_message(from, inner);
+  } else {
+    it->second.replica->on_message(from, inner);
+  }
+}
+
+void SlotMux::on_decided_claim(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  dec.u8();
+  Slot slot = dec.u64();
+  auto value = Value::decode(dec);
+  if (!value || !dec.ok() || !dec.at_end() || slot == 0) return;
+
+  // Honest claims are solicited by our own slot traffic, which never goes
+  // beyond the window; claims past it can only be Byzantine flooding, and
+  // rejecting them keeps parked claim state bounded by the window size.
+  if (slot >= next_start_ + options_.pipeline_depth) return;
+
+  auto adopted = catchup_.add_claim(slot, from, *value);
+  if (adopted && active_.contains(slot)) {
+    on_slot_decided(slot, *adopted);
+  }
+  // Claims for slots we have not opened yet stay parked in the policy;
+  // start_slot() checks ready_claim() when the window reaches them.
+}
+
+void SlotMux::note_inflight() {
+  if (ctx_.network != nullptr) {
+    ctx_.network->stats().note_inflight_slots(ctx_.id, inflight_slots());
+  }
+}
+
+}  // namespace fastbft::engine

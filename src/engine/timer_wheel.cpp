@@ -1,0 +1,47 @@
+#include "engine/timer_wheel.hpp"
+
+namespace fastbft::engine {
+
+TimerWheel::~TimerWheel() {
+  *alive_ = false;
+  scheduler_event_.cancel();
+}
+
+sim::TimerHandle TimerWheel::schedule_after(Duration delay,
+                                            std::function<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{sched_.now() + delay, next_seq_++, std::move(fn),
+                   cancelled});
+  if (!firing_) arm();
+  return make_handle(std::move(cancelled));
+}
+
+void TimerWheel::arm() {
+  if (heap_.empty()) {
+    scheduler_event_.cancel();
+    armed_at_ = kTimeInfinity;
+    return;
+  }
+  TimePoint next = heap_.top().at;
+  if (scheduler_event_.active() && armed_at_ <= next) return;
+  scheduler_event_.cancel();
+  armed_at_ = next;
+  scheduler_event_ = sched_.schedule_at(next, [this, alive = alive_] {
+    if (*alive) fire();
+  });
+}
+
+void TimerWheel::fire() {
+  firing_ = true;
+  TimePoint now = sched_.now();
+  while (!heap_.empty() && heap_.top().at <= now) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    if (!*entry.cancelled) entry.fn();
+  }
+  firing_ = false;
+  armed_at_ = kTimeInfinity;
+  arm();
+}
+
+}  // namespace fastbft::engine

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+/// \file timer_wheel.hpp
+/// Engine-scoped timer multiplexer. A pipelined SMR engine runs up to
+/// `pipeline_depth` view synchronizers concurrently, each of which arms and
+/// re-arms timeouts; routing every logical timer through one wheel keeps
+/// exactly one event outstanding in the scheduler per engine (the earliest
+/// deadline) instead of one per slot, and gives the engine a single place
+/// to introspect and tear down all slot-scoped timers.
+
+namespace fastbft::engine {
+
+class TimerWheel final : public sim::TimerService {
+ public:
+  explicit TimerWheel(sim::Scheduler& sched) : sched_(sched) {}
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+  ~TimerWheel() override;
+
+  sim::TimerHandle schedule_after(Duration delay,
+                                  std::function<void()> fn) override;
+
+  /// Logical timers currently queued (cancelled entries included until
+  /// their deadline pops them).
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void arm();
+  void fire();
+
+  sim::Scheduler& sched_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  sim::TimerHandle scheduler_event_;
+  TimePoint armed_at_ = kTimeInfinity;
+  std::uint64_t next_seq_ = 0;
+  bool firing_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace fastbft::engine

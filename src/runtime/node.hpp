@@ -12,6 +12,12 @@
 /// sharing one network endpoint. Messages are dispatched by tag byte; a
 /// replica decision stops the synchronizer (single-shot consensus has
 /// nothing further to synchronize).
+///
+/// The synchronizer's timers go through the sim::TimerService interface:
+/// a standalone node arms them on the scheduler directly, while the
+/// pipelined SMR engine (src/engine) runs many per-slot synchronizers off
+/// one engine-scoped engine::TimerWheel instead of one timer object per
+/// slot.
 
 namespace fastbft::runtime {
 

@@ -29,12 +29,33 @@ class TimerHandle {
 
  private:
   friend class Scheduler;
+  friend class TimerService;
   explicit TimerHandle(std::shared_ptr<bool> flag)
       : cancelled_(std::move(flag)) {}
   std::shared_ptr<bool> cancelled_;
 };
 
-class Scheduler {
+/// Anything that can arm one-shot timers. The scheduler itself is the
+/// canonical implementation (one scheduler event per timer); the engine
+/// layer provides a multiplexing implementation (engine::TimerWheel) that
+/// funds many logical timers from a single outstanding scheduler event, so
+/// per-slot protocol objects never own scheduler state directly.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+
+  /// Arms `fn` to fire after `delay` ticks. The returned handle cancels.
+  virtual TimerHandle schedule_after(Duration delay,
+                                     std::function<void()> fn) = 0;
+
+ protected:
+  /// Lets implementations mint handles around their own cancellation flags.
+  static TimerHandle make_handle(std::shared_ptr<bool> flag) {
+    return TimerHandle(std::move(flag));
+  }
+};
+
+class Scheduler final : public TimerService {
  public:
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -46,7 +67,7 @@ class Scheduler {
   TimerHandle schedule_at(TimePoint at, std::function<void()> fn);
 
   /// Schedules `fn` after `delay` ticks.
-  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+  TimerHandle schedule_after(Duration delay, std::function<void()> fn) override;
 
   /// Runs the earliest pending event. Returns false if none are pending.
   bool step();

@@ -1,137 +1,32 @@
 #include "smr/smr_node.hpp"
 
-#include "common/assert.hpp"
-#include "common/logging.hpp"
 #include "net/tags.hpp"
 
 namespace fastbft::smr {
-
-namespace {
-
-Bytes wrap(Slot slot, const Bytes& inner) {
-  Encoder enc;
-  enc.u8(net::tags::kSmrWrapped);
-  enc.u64(slot);
-  enc.bytes(inner);
-  return std::move(enc).take();
-}
-
-}  // namespace
-
-void SmrNode::SlotTransport::send(ProcessId to, Bytes payload) {
-  inner_.send(to, wrap(slot_, payload));
-}
 
 SmrNode::SmrNode(const runtime::ProcessContext& ctx, SmrOptions options,
                  CommitCallback on_commit)
     : ctx_(ctx),
       options_(options),
       on_commit_(std::move(on_commit)),
-      endpoint_(ctx.network->endpoint(ctx.id)) {}
-
-void SmrNode::start() { start_slot(1); }
-
-Value SmrNode::make_input() const {
-  std::vector<Command> batch;
-  for (const auto& cmd : pending_) {
-    if (applied_ids_.contains({cmd.client_id, cmd.sequence})) continue;
-    batch.push_back(cmd);
-    if (batch.size() >= options_.max_batch) break;
-  }
-  if (batch.empty()) batch.push_back(Command::noop());
-  return encode_batch(batch);
+      endpoint_(ctx.network->endpoint(ctx.id)) {
+  engine::SlotMuxOptions mux_options;
+  mux_options.pipeline_depth = options_.pipeline_depth;
+  mux_options.max_batch = options_.max_batch;
+  mux_options.target_commands = options_.target_commands;
+  mux_options.rotate_leaders = options_.rotate_leaders;
+  mux_options.node = options_.node;
+  mux_ = std::make_unique<engine::SlotMux>(
+      ctx_, *endpoint_, mux_options,
+      [this](Slot slot, const std::vector<Command>& applied) {
+        for (const auto& cmd : applied) store_.apply(cmd);
+        if (on_commit_) on_commit_(ctx_.id, slot, applied);
+      });
 }
 
-void SmrNode::start_slot(Slot slot) {
-  FASTBFT_ASSERT(slot == current_slot_ + 1, "slots start sequentially");
-  current_slot_ = slot;
+SmrNode::~SmrNode() = default;
 
-  SlotState state;
-  state.transport = std::make_unique<SlotTransport>(*endpoint_, slot);
-
-  viewsync::SynchronizerConfig sync_cfg = options_.node.sync;
-  sync_cfg.f = ctx_.cfg.f;
-
-  auto on_decide = [this, slot](const consensus::DecisionRecord& record) {
-    // Deciding happens inside the replica's message handler; defer the
-    // slot transition so we never tear down an executing replica.
-    ctx_.scheduler->schedule_after(0, [this, slot, value = record.value] {
-      on_slot_decided(slot, value);
-    });
-  };
-
-  state.replica = std::make_unique<consensus::Replica>(
-      ctx_.cfg, ctx_.id, make_input(), *state.transport,
-      crypto::Signer(ctx_.keys, ctx_.id), crypto::Verifier(ctx_.keys),
-      ctx_.leader_of, on_decide, options_.node.replica);
-  auto* replica = state.replica.get();
-  state.sync = std::make_unique<viewsync::Synchronizer>(
-      sync_cfg, ctx_.id, *state.transport, *ctx_.scheduler,
-      [replica](View v) { replica->enter_view(v); });
-
-  auto [it, inserted] = slots_.emplace(slot, std::move(state));
-  FASTBFT_ASSERT(inserted, "slot already exists");
-  it->second.sync->start();
-  it->second.replica->start();
-
-  // A laggard may already hold f+1 decided claims for this slot.
-  auto claims = decided_claims_.find(slot);
-  if (claims != decided_claims_.end()) {
-    for (const auto& [value_bytes, claimants] : claims->second) {
-      if (claimants.size() >= ctx_.cfg.f + 1) {
-        Value value{Bytes(value_bytes)};
-        ctx_.scheduler->schedule_after(0, [this, slot, value] {
-          on_slot_decided(slot, value);
-        });
-        break;
-      }
-    }
-  }
-}
-
-void SmrNode::on_slot_decided(Slot slot, const Value& value) {
-  auto it = slots_.find(slot);
-  if (it == slots_.end() || it->second.decided) return;
-  it->second.decided = true;
-  it->second.sync->stop();
-  decided_values_.emplace(slot, value);
-
-  apply_batch(slot, value);
-
-  if (slot == current_slot_ && !done()) {
-    start_slot(slot + 1);
-  }
-}
-
-void SmrNode::apply_batch(Slot slot, const Value& value) {
-  auto batch = decode_batch(value);
-  if (!batch) {
-    // A decided value that is not a valid batch is treated as a no-op (can
-    // only happen if a Byzantine leader proposed garbage — agreement still
-    // holds, the state machine just skips it deterministically).
-    ++noop_slots_;
-    return;
-  }
-  std::vector<Command> applied;
-  for (const auto& cmd : *batch) {
-    if (cmd.kind == OpKind::Noop) continue;
-    auto id = std::make_pair(cmd.client_id, cmd.sequence);
-    if (!applied_ids_.insert(id).second) continue;  // duplicate
-    store_.apply(cmd);
-    ++applied_commands_;
-    applied.push_back(cmd);
-  }
-  if (applied.empty()) ++noop_slots_;
-
-  // Drop executed commands from the pending queue.
-  while (!pending_.empty() &&
-         applied_ids_.contains(
-             {pending_.front().client_id, pending_.front().sequence})) {
-    pending_.pop_front();
-  }
-
-  if (on_commit_) on_commit_(ctx_.id, slot, applied);
-}
+void SmrNode::start() { mux_->start(); }
 
 void SmrNode::submit(const Command& cmd) {
   Encoder enc;
@@ -147,10 +42,10 @@ void SmrNode::on_message(ProcessId from, const Bytes& payload) {
       handle_request(payload);
       return;
     case net::tags::kSmrWrapped:
-      handle_wrapped(from, payload);
+      mux_->on_wrapped(from, payload);
       return;
     case net::tags::kSmrDecided:
-      handle_decided_claim(from, payload);
+      mux_->on_decided_claim(from, payload);
       return;
     default:
       return;
@@ -163,61 +58,8 @@ void SmrNode::handle_request(const Bytes& payload) {
   Bytes raw = dec.bytes();
   if (!dec.ok() || !dec.at_end()) return;
   auto cmd = Command::from_value(Value(std::move(raw)));
-  if (!cmd || cmd->kind == OpKind::Noop) return;
-  auto id = std::make_pair(cmd->client_id, cmd->sequence);
-  if (applied_ids_.contains(id)) return;
-  if (!seen_requests_.insert(id).second) return;
-  pending_.push_back(std::move(*cmd));
-}
-
-void SmrNode::handle_wrapped(ProcessId from, const Bytes& payload) {
-  Decoder dec(payload);
-  dec.u8();
-  Slot slot = dec.u64();
-  Bytes inner = dec.bytes();
-  if (!dec.ok() || !dec.at_end() || slot == 0) return;
-
-  if (decided_values_.contains(slot)) {
-    send_decided_reply(slot, from);
-    return;
-  }
-  if (current_slot_ != 0 && slot > current_slot_) {
-    // Someone is ahead of us; their slot traffic is useless to us until we
-    // catch up, but it does tell us they advanced past our slot. Nothing
-    // to buffer: catch-up runs on SMR_DECIDED claims.
-    return;
-  }
-  auto it = slots_.find(slot);
-  if (it == slots_.end()) return;
-  if (!inner.empty() && inner[0] == net::tags::kWish) {
-    it->second.sync->on_message(from, inner);
-  } else {
-    it->second.replica->on_message(from, inner);
-  }
-}
-
-void SmrNode::send_decided_reply(Slot slot, ProcessId to) {
-  if (!decided_reply_sent_.insert({slot, to}).second) return;
-  Encoder enc;
-  enc.u8(net::tags::kSmrDecided);
-  enc.u64(slot);
-  decided_values_.at(slot).encode(enc);
-  endpoint_->send(to, std::move(enc).take());
-}
-
-void SmrNode::handle_decided_claim(ProcessId from, const Bytes& payload) {
-  Decoder dec(payload);
-  dec.u8();
-  Slot slot = dec.u64();
-  auto value = Value::decode(dec);
-  if (!value || !dec.ok() || !dec.at_end() || slot == 0) return;
-  if (decided_values_.contains(slot)) return;
-
-  auto& claimants = decided_claims_[slot][value->bytes()];
-  claimants.insert(from);
-  if (slot == current_slot_ && claimants.size() >= ctx_.cfg.f + 1) {
-    on_slot_decided(slot, *value);
-  }
+  if (!cmd) return;
+  mux_->submit(*cmd);
 }
 
 }  // namespace fastbft::smr

@@ -1,32 +1,30 @@
 #pragma once
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
 
-#include "runtime/cluster.hpp"
-#include "smr/batch.hpp"
+#include "engine/slot_mux.hpp"
 #include "smr/kvstore.hpp"
-#include "viewsync/synchronizer.hpp"
 
 /// \file smr_node.hpp
-/// State machine replication on top of the consensus core: a sequence of
-/// slots, each an independent single-shot instance of the paper's protocol,
-/// applied in order to a deterministic KV store.
+/// State machine replication on top of the slot-multiplexed consensus
+/// engine (src/engine): a sequence of slots, each an independent
+/// single-shot instance of the paper's protocol, applied in slot order to
+/// a deterministic KV store.
 ///
-/// Design notes:
-///  * Clients broadcast requests to every replica (SMR_REQUEST); each
-///    replica keeps a pending queue, so whichever process leads the next
-///    slot can propose. Commands are deduplicated by (client_id, sequence)
-///    at apply time, making duplicate proposals harmless.
-///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, inner};
-///    each slot gets a fresh replica, view synchronizer and wrapping
-///    transport. Slots are processed sequentially.
-///  * Catch-up: a replica receiving slot-s traffic after deciding s replies
-///    with SMR_DECIDED{s, value}. f + 1 matching claims let a laggard adopt
-///    the decision (at least one is from a correct process) — classic state
-///    transfer, needed because fast-path acks are not transferable proof.
+/// SmrNode is deliberately thin: it owns the network endpoint, the KV
+/// state machine and the client-facing API (submit/commit callback), and
+/// delegates everything slot-shaped — window management, dispatch,
+/// pending-queue/dedup policy, reorder buffering, SMR_DECIDED catch-up —
+/// to engine::SlotMux.
+///
+/// Wire protocol (unchanged from the pre-engine layout):
+///  * Clients broadcast requests to every replica (SMR_REQUEST); whichever
+///    process leads a slot can propose them. Commands are deduplicated by
+///    (client_id, sequence) at apply time.
+///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, inner}.
+///  * A replica receiving slot-s traffic after deciding s replies with
+///    SMR_DECIDED{s, value}; f + 1 matching claims let a laggard adopt the
+///    decision.
 
 namespace fastbft::smr {
 
@@ -37,6 +35,13 @@ struct SmrOptions {
   /// Stop starting new slots once this many commands were applied
   /// (0 = never stop; the driver bounds the run instead).
   std::uint64_t target_commands = 0;
+
+  /// Consensus slots run concurrently (1 = strictly sequential slots,
+  /// the pre-engine behaviour). See engine::SlotMuxOptions.
+  std::uint32_t pipeline_depth = 1;
+
+  /// Rotate the view-1 leader by slot index (see engine::SlotMuxOptions).
+  bool rotate_leaders = false;
 
   /// Per-slot consensus/synchronizer tuning.
   runtime::NodeOptions node;
@@ -50,6 +55,7 @@ class SmrNode final : public runtime::IProcess {
 
   SmrNode(const runtime::ProcessContext& ctx, SmrOptions options,
           CommitCallback on_commit);
+  ~SmrNode() override;
 
   void start() override;
   void on_message(ProcessId from, const Bytes& payload) override;
@@ -59,68 +65,22 @@ class SmrNode final : public runtime::IProcess {
   void submit(const Command& cmd);
 
   const KvStore& store() const { return store_; }
-  Slot current_slot() const { return current_slot_; }
-  std::uint64_t applied_commands() const { return applied_commands_; }
-  std::uint64_t noop_slots() const { return noop_slots_; }
+  Slot current_slot() const { return mux_->highest_started(); }
+  std::uint64_t applied_commands() const { return mux_->applied_commands(); }
+  std::uint64_t noop_slots() const { return mux_->noop_slots(); }
+
+  /// The underlying consensus engine (tests, benchmarks).
+  const engine::SlotMux& engine() const { return *mux_; }
 
  private:
-  /// Transport wrapper scoping one slot's traffic.
-  class SlotTransport final : public net::Transport {
-   public:
-    SlotTransport(net::Transport& inner, Slot slot)
-        : inner_(inner), slot_(slot) {}
-    void send(ProcessId to, Bytes payload) override;
-    std::uint32_t cluster_size() const override {
-      return inner_.cluster_size();
-    }
-    ProcessId self() const override { return inner_.self(); }
-
-   private:
-    net::Transport& inner_;
-    Slot slot_;
-  };
-
-  struct SlotState {
-    std::unique_ptr<SlotTransport> transport;
-    std::unique_ptr<consensus::Replica> replica;
-    std::unique_ptr<viewsync::Synchronizer> sync;
-    bool decided = false;
-  };
-
-  void start_slot(Slot slot);
-  Value make_input() const;
-  void on_slot_decided(Slot slot, const Value& value);
-  void apply_batch(Slot slot, const Value& value);
   void handle_request(const Bytes& payload);
-  void handle_wrapped(ProcessId from, const Bytes& payload);
-  void handle_decided_claim(ProcessId from, const Bytes& payload);
-  void send_decided_reply(Slot slot, ProcessId to);
-  bool done() const {
-    return options_.target_commands > 0 &&
-           applied_commands_ >= options_.target_commands;
-  }
 
   runtime::ProcessContext ctx_;
   SmrOptions options_;
   CommitCallback on_commit_;
   std::unique_ptr<net::SimEndpoint> endpoint_;
-
-  Slot current_slot_ = 0;  // 0 = not started
-  std::map<Slot, SlotState> slots_;
-  std::map<Slot, Value> decided_values_;
-
-  std::deque<Command> pending_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_requests_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> applied_ids_;
-
-  /// Catch-up bookkeeping: slot -> claimed value bytes -> claimants.
-  std::map<Slot, std::map<Bytes, std::set<ProcessId>>> decided_claims_;
-  std::set<std::pair<Slot, ProcessId>> decided_reply_sent_;
-
+  std::unique_ptr<engine::SlotMux> mux_;
   KvStore store_;
-  std::uint64_t applied_commands_ = 0;
-  std::uint64_t noop_slots_ = 0;
-  bool advancing_ = false;
 };
 
 }  // namespace fastbft::smr

@@ -32,12 +32,12 @@ std::optional<WishMsg> parse_wish(const Bytes& payload) {
 }
 
 Synchronizer::Synchronizer(SynchronizerConfig cfg, ProcessId id,
-                           net::Transport& transport, sim::Scheduler& sched,
-                           EnterViewFn enter_view)
+                           net::Transport& transport,
+                           sim::TimerService& timers, EnterViewFn enter_view)
     : cfg_(cfg),
       id_(id),
       transport_(transport),
-      sched_(sched),
+      timers_(timers),
       enter_view_(std::move(enter_view)) {}
 
 void Synchronizer::start() { arm_timer(); }
@@ -56,7 +56,7 @@ Duration Synchronizer::timeout_for(View v) const {
 void Synchronizer::arm_timer() {
   timer_.cancel();
   if (stopped_) return;
-  timer_ = sched_.schedule_after(timeout_for(view_), [this] { on_timeout(); });
+  timer_ = timers_.schedule_after(timeout_for(view_), [this] { on_timeout(); });
 }
 
 void Synchronizer::on_timeout() {

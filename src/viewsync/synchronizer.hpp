@@ -50,8 +50,11 @@ class Synchronizer {
  public:
   using EnterViewFn = std::function<void(View)>;
 
+  /// `timers` is any timer source: the scheduler itself for standalone
+  /// nodes, or an engine-scoped multiplexer (engine::TimerWheel) when many
+  /// synchronizers share one scheduler event (pipelined SMR slots).
   Synchronizer(SynchronizerConfig cfg, ProcessId id,
-               net::Transport& transport, sim::Scheduler& sched,
+               net::Transport& transport, sim::TimerService& timers,
                EnterViewFn enter_view);
 
   /// Arms the view-1 timer.
@@ -81,7 +84,7 @@ class Synchronizer {
   SynchronizerConfig cfg_;
   ProcessId id_;
   net::Transport& transport_;
-  sim::Scheduler& sched_;
+  sim::TimerService& timers_;
   EnterViewFn enter_view_;
 
   View view_ = 1;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "adversary/behaviors.hpp"
+#include "smr/smr_node.hpp"
 
 /// Byzantine fault injection through the full stack: equivocating leaders,
 /// silent processes, promiscuous ackers, laggards — in all cases agreement
@@ -185,6 +188,64 @@ TEST(FaultSweep, RandomByzantineMixNeverBreaksAgreement) {
     ASSERT_TRUE(cluster.run_until_all_correct_decided(30'000'000))
         << "seed=" << seed;
     EXPECT_TRUE(cluster.agreement()) << "seed=" << seed;
+  }
+}
+
+// --- Pipelined SMR under faults ---------------------------------------------------
+
+TEST(Faults, PipelinedSmrSurvivesSilentInitialLeader) {
+  // A silent p0 never proposes. With rotate_leaders + depth 4, p0 leads
+  // the view-1 of slots 1, 5, 9, ... — those slots stall until their view
+  // change while slots led by p1..p3 decide immediately, so the engine
+  // must hold out-of-order decisions (reorder high-water > 0) and the log
+  // must still apply strictly in slot order on every correct replica.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  ClusterOptions options = options_for(cfg);
+
+  std::vector<smr::SmrNode*> nodes(4, nullptr);
+  smr::SmrOptions smr_options;
+  smr_options.max_batch = 2;
+  smr_options.target_commands = 8;
+  smr_options.pipeline_depth = 4;
+  smr_options.rotate_leaders = true;
+  std::map<ProcessId, std::vector<Slot>> applied_slots;
+  options.node_factory = [&](const runtime::ProcessContext& ctx,
+                             const runtime::NodeOptions&,
+                             runtime::Node::DecideCallback) {
+    auto node = std::make_unique<smr::SmrNode>(
+        ctx, smr_options,
+        [&applied_slots](ProcessId pid, Slot slot,
+                         const std::vector<smr::Command>&) {
+          applied_slots[pid].push_back(slot);
+        });
+    nodes[ctx.id] = node.get();
+    return node;
+  };
+
+  Cluster cluster(options, inputs_for(4));
+  cluster.replace_process(0, silent());
+  cluster.start();
+  cluster.scheduler().schedule_at(0, [&] {
+    for (int i = 1; i <= 8; ++i) {
+      nodes[1]->submit(smr::Command::put("k" + std::to_string(i), "v", 6,
+                                         static_cast<std::uint64_t>(i)));
+    }
+  });
+  cluster.run_until(5'000'000);
+
+  for (ProcessId id = 1; id < 4; ++id) {
+    ASSERT_NE(nodes[id], nullptr);
+    EXPECT_EQ(nodes[id]->applied_commands(), 8u) << "p" << id;
+    EXPECT_EQ(nodes[id]->store().state_digest(),
+              nodes[1]->store().state_digest())
+        << "p" << id;
+    EXPECT_GE(nodes[id]->engine().reorder_high_water(), 1u)
+        << "slots past the silent leader's must not have waited for it";
+    const auto& slots = applied_slots[id];
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      ASSERT_EQ(slots[i], static_cast<Slot>(i + 1))
+          << "p" << id << " applied out of slot order";
+    }
   }
 }
 

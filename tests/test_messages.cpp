@@ -171,6 +171,49 @@ TEST_F(MessagesTest, TruncationRejectedAtEveryLength) {
   }
 }
 
+TEST_F(MessagesTest, VoteWithCertTruncationRejectedAtEveryLength) {
+  // The vote path exercises the nested decoders (Vote, ProgressCert,
+  // optional CommitCert) that ProposeMsg truncation does not reach.
+  VoteMsg m;
+  m.v = 7;
+  m.record.voter = 2;
+  m.record.vote = Vote::of(x_, 5, cert(x_, 5),
+                           sig(0, kDomPropose, propose_preimage(x_, 5)));
+  m.record.cc = cc(x_, 5);
+  m.record.phi = sig(2, kDomVote, vote_preimage(m.record.vote, m.record.cc, 7));
+  Bytes wire = m.serialize();
+  ASSERT_TRUE(parse_message(wire).has_value());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_FALSE(parse_message(truncated).has_value()) << "len=" << len;
+  }
+}
+
+TEST_F(MessagesTest, CommitTruncationRejectedAtEveryLength) {
+  CommitMsg m;
+  m.v = 4;
+  m.x = x_;
+  m.cc = cc(x_, 4);
+  Bytes wire = m.serialize();
+  ASSERT_TRUE(parse_message(wire).has_value());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_FALSE(parse_message(truncated).has_value()) << "len=" << len;
+  }
+}
+
+TEST_F(MessagesTest, DecodeFromBytesRequiresFullConsumption) {
+  // decode_from_bytes only borrows its buffer (the rvalue overloads of it
+  // and of Decoder are deleted, so temporaries cannot dangle) and must
+  // reject buffers with trailing bytes after a successful field decode.
+  Bytes wire = encode_to_bytes(x_);
+  EXPECT_TRUE(decode_from_bytes<Value>(wire).has_value());
+  wire.push_back(0xab);
+  EXPECT_FALSE(decode_from_bytes<Value>(wire).has_value());
+  Bytes truncated(wire.begin(), wire.begin() + 2);
+  EXPECT_FALSE(decode_from_bytes<Value>(truncated).has_value());
+}
+
 TEST_F(MessagesTest, AbsurdVoteCountRejected) {
   Encoder enc;
   enc.u8(net::tags::kCertReq);

@@ -404,5 +404,57 @@ TEST_F(ReplicaTest, ProposalWithoutCertRejectedAfterViewOne) {
   EXPECT_TRUE(sent_of(net::tags::kAck).empty());
 }
 
+// --- Future-view buffer cap ------------------------------------------------------
+
+TEST_F(ReplicaTest, FutureBufferBoundedUnderByzantineFlood) {
+  auto r = std::make_unique<Replica>(
+      cfg_, 1, y_, transport_, crypto::Signer(keys_, 1), verifier_, leader_,
+      nullptr, ReplicaOptions{.max_future_buffered = 8});
+  // A Byzantine process sprays votes for ever-farther future views; the
+  // buffer must stay at the cap instead of growing without bound.
+  for (View v = 100; v < 400; ++v) {
+    r->on_message(3, vote_wire(3, v));
+  }
+  EXPECT_LE(r->future_buffered_total(), 8u);
+}
+
+TEST_F(ReplicaTest, FloodedBufferStillAdmitsNearFutureMessages) {
+  auto r = std::make_unique<Replica>(
+      cfg_, 1, y_, transport_, crypto::Signer(keys_, 1), verifier_, leader_,
+      nullptr, ReplicaOptions{.max_future_buffered = 4});
+  // Fill the buffer with far-future junk.
+  for (View v = 1000; v < 1004; ++v) {
+    r->on_message(3, vote_wire(3, v));
+  }
+  EXPECT_EQ(r->future_buffered_total(), 4u);
+
+  // A valid view-2 proposal arrives while flooded: it must evict junk
+  // rather than be dropped, and must replay once view 2 is entered.
+  ProgressCert sigma;
+  for (ProcessId p : {2u, 3u}) {
+    sigma.acks.push_back(
+        SignatureEntry{p, sign(p, kDomCertAck, certack_preimage(x_, 2))});
+  }
+  r->on_message(1, propose_wire(1, x_, 2, sigma));
+  EXPECT_LE(r->future_buffered_total(), 4u);
+
+  r->enter_view(2);
+  EXPECT_FALSE(sent_of(net::tags::kAck).empty())
+      << "the buffered view-2 proposal must survive the flood and replay";
+  EXPECT_EQ(r->current_vote()->u, 2u);
+}
+
+TEST_F(ReplicaTest, MessagesBeyondFullBufferAreDropped) {
+  auto r = std::make_unique<Replica>(
+      cfg_, 1, y_, transport_, crypto::Signer(keys_, 1), verifier_, leader_,
+      nullptr, ReplicaOptions{.max_future_buffered = 2});
+  r->on_message(2, vote_wire(2, 5));
+  r->on_message(3, vote_wire(3, 6));
+  EXPECT_EQ(r->future_buffered_total(), 2u);
+  // Farther than everything buffered and the buffer is full: dropped.
+  r->on_message(3, vote_wire(3, 7));
+  EXPECT_EQ(r->future_buffered_total(), 2u);
+}
+
 }  // namespace
 }  // namespace fastbft::consensus
