@@ -2,15 +2,76 @@
 #include <cstdio>
 
 #include "runtime/threaded_cluster.hpp"
+#include "runtime/threaded_smr_cluster.hpp"
 
-/// The same protocol, real threads, real clock: nine OS threads (one per
-/// process), f = t = 2, two of them crashed — wall-clock time to a
-/// Byzantine-fault-tolerant decision.
+/// The same protocol, real threads, real clock. Part 1: nine OS threads
+/// (one per process), f = t = 2, two of them crashed — wall-clock time to
+/// a single Byzantine-fault-tolerant decision. Part 2: the full pipelined
+/// SMR engine on the threaded runtime — a replicated KV log with leader
+/// rotation and wall-clock view change surviving a mid-run crash.
 ///
 /// Run: ./build/examples/realtime_quickstart
 
 using namespace fastbft;
 using namespace std::chrono;
+
+namespace {
+
+int run_threaded_smr() {
+  auto cfg = consensus::QuorumConfig::create(/*n=*/6, /*f=*/1, /*t=*/1);
+  runtime::ThreadedSmrClusterOptions options;
+  options.smr.max_batch = 8;
+  options.smr.pipeline_depth = 8;
+  options.smr.rotate_leaders = true;
+  options.smr.target_commands = 200;
+  runtime::ThreadedSmrCluster cluster(cfg, options);
+
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    cluster.submit(smr::Command::put("account-" + std::to_string(i % 16),
+                                     "balance-" + std::to_string(i), 1, i));
+  }
+
+  auto begin = steady_clock::now();
+  cluster.start();
+  if (!cluster.wait_applied(40, seconds(20))) {
+    std::printf("threaded SMR made no progress — something is wrong\n");
+    return 1;
+  }
+  cluster.crash(2);  // initial leader of slots 3, 9, 15, ... under rotation
+  bool done = cluster.wait_applied(200, seconds(30));
+  auto elapsed = duration_cast<microseconds>(steady_clock::now() - begin);
+  cluster.stop();
+
+  if (!done) {
+    std::printf("threaded SMR stalled after the crash — something is "
+                "wrong\n");
+    return 1;
+  }
+  std::printf("\npipelined SMR over OS threads (n = 6, depth = 8, p2 "
+              "crashed mid-run):\n");
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    if (cluster.is_faulty(id)) {
+      std::printf("  p%u crashed\n", id);
+      continue;
+    }
+    std::printf("  p%u applied %llu commands over %llu slots\n", id,
+                static_cast<unsigned long long>(cluster.applied_commands(id)),
+                static_cast<unsigned long long>(
+                    cluster.applied_slots(id).size()));
+  }
+  std::printf("stores agree: %s | wall-clock: %lld us | %llu messages, "
+              "%llu wall-clock timeouts fired\n",
+              cluster.correct_stores_agree() ? "yes" : "NO (bug!)",
+              static_cast<long long>(elapsed.count()),
+              static_cast<unsigned long long>(cluster.delivered_messages()),
+              static_cast<unsigned long long>(cluster.timers_fired()));
+  std::printf("(the crashed leader's slots were rescued by view change on "
+              "steady-clock timers — the engine::Host seam gives the\n"
+              "threaded runtime the clock the simulator always had)\n");
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   auto cfg = consensus::QuorumConfig::create(/*n=*/9, /*f=*/2, /*t=*/2);
@@ -48,5 +109,6 @@ int main() {
   std::printf("\n(the two-message-delay structure is the same as in the\n"
               "simulator; here a \"delay\" is an in-process queue hop of a\n"
               "few microseconds instead of a scripted Delta)\n");
-  return 0;
+
+  return run_threaded_smr();
 }

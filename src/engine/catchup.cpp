@@ -1,5 +1,8 @@
 #include "engine/catchup.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "common/codec.hpp"
 #include "net/tags.hpp"
 
@@ -19,6 +22,11 @@ const Value* CatchUpPolicy::decided(Slot slot) const {
 
 std::optional<Value> CatchUpPolicy::add_claim(Slot slot, ProcessId from,
                                               const Value& value) {
+  // Slots below the floor are applied everywhere (our own watermark is
+  // part of the minimum, so that includes us): claims for them can only
+  // be Byzantine flooding, and parking them would re-grow exactly the
+  // state the watermark trim freed.
+  if (slot < floor_) return std::nullopt;
   if (decided_.contains(slot)) return std::nullopt;
   // One counted claim per (slot, sender): honest replicas reply at most
   // once per peer, so repeats are Byzantine; ignoring them bounds the
@@ -37,6 +45,30 @@ std::optional<Value> CatchUpPolicy::ready_claim(Slot slot) const {
     if (claimants.size() >= threshold_) return Value(Bytes(value_bytes));
   }
   return std::nullopt;
+}
+
+void CatchUpPolicy::note_watermark(ProcessId peer, Slot applied_below) {
+  if (peer >= watermarks_.size()) return;
+  if (applied_below <= watermarks_[peer]) return;  // stale gossip
+  watermarks_[peer] = applied_below;
+
+  Slot min = watermarks_[0];
+  for (Slot w : watermarks_) min = std::min(min, w);
+  if (min <= floor_) return;
+  floor_ = min;
+
+  // Everything strictly below the floor is applied on every process (a
+  // Byzantine peer over-reporting only removes itself from the minimum;
+  // honest watermarks keep the floor safe). Prune retained values, any
+  // parked claim state and the per-peer reply dedup entries.
+  auto end = decided_.lower_bound(floor_);
+  pruned_ += static_cast<std::uint64_t>(std::distance(decided_.begin(), end));
+  decided_.erase(decided_.begin(), end);
+  claims_.erase(claims_.begin(), claims_.lower_bound(floor_));
+  claim_senders_.erase(claim_senders_.begin(),
+                       claim_senders_.lower_bound(floor_));
+  reply_sent_.erase(reply_sent_.begin(),
+                    reply_sent_.lower_bound({floor_, 0}));
 }
 
 std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to) {

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "common/types.hpp"
 #include "common/value.hpp"
@@ -14,9 +15,16 @@
 /// correct). This object tracks incoming claims per slot, retains decided
 /// values for serving laggards, and dedups outgoing replies per (slot,
 /// peer). Claim state is garbage-collected the moment a slot's decision is
-/// known locally; decided values are retained indefinitely — any replica
-/// may lag arbitrarily far behind (bounding retention requires snapshot
-/// transfer, a ROADMAP item).
+/// known locally.
+///
+/// Retention is bounded by watermark trimming: every SMR_WRAPPED message
+/// gossips the sender's applied watermark (the lowest slot it has NOT yet
+/// applied), and decided values strictly below the minimum watermark over
+/// the whole cluster are pruned — nobody can still need them, because
+/// everyone already applied them. A crashed (or Byzantine, lying-low) peer
+/// freezes its watermark and therefore pins retention from its crash point
+/// on; unpinning that needs full KV snapshot transfer, which stays future
+/// work (ROADMAP).
 ///
 /// Flood resistance: only a sender's first claim per slot counts (honest
 /// replicas send exactly one reply per (slot, peer), so later ones are
@@ -29,12 +37,15 @@ namespace fastbft::engine {
 class CatchUpPolicy {
  public:
   /// `threshold` is f + 1: the claim count that proves a decision.
-  explicit CatchUpPolicy(std::uint32_t threshold) : threshold_(threshold) {}
+  /// `cluster_size` is n: watermarks are tracked for every process.
+  CatchUpPolicy(std::uint32_t threshold, std::uint32_t cluster_size)
+      : threshold_(threshold), watermarks_(cluster_size, 1) {}
 
   /// Records a locally-known decision and drops the slot's claim state.
   void record_decided(Slot slot, Value value);
 
-  /// The decided value for `slot`, or nullptr if unknown.
+  /// The decided value for `slot`, or nullptr if unknown (never decided
+  /// locally, or already pruned below the watermark floor).
   const Value* decided(Slot slot) const;
 
   /// Feeds one SMR_DECIDED claim. Returns the claimed value once f + 1
@@ -50,7 +61,20 @@ class CatchUpPolicy {
   /// peer); nullopt if already sent or the slot is undecided.
   std::optional<Bytes> reply_for(Slot slot, ProcessId to);
 
+  /// Records `peer`'s applied watermark (everything below `applied_below`
+  /// is applied there; gossiped in SMR_WRAPPED traffic, and fed for self
+  /// after each local apply). Watermarks only advance — a reordered old
+  /// message can never regress the floor. When the cluster-wide minimum
+  /// advances, decided values, claim state and reply dedup entries below
+  /// it are pruned.
+  void note_watermark(ProcessId peer, Slot applied_below);
+
+  /// Lowest watermark over the whole cluster: slots below this are applied
+  /// everywhere and have been pruned.
+  Slot prune_floor() const { return floor_; }
+
   std::size_t decided_count() const { return decided_.size(); }
+  std::uint64_t pruned_count() const { return pruned_; }
 
  private:
   std::uint32_t threshold_;
@@ -60,6 +84,10 @@ class CatchUpPolicy {
   /// slot -> senders whose (single counted) claim was recorded.
   std::map<Slot, std::set<ProcessId>> claim_senders_;
   std::set<std::pair<Slot, ProcessId>> reply_sent_;
+  /// Per-process applied watermark; index = ProcessId, start = 1.
+  std::vector<Slot> watermarks_;
+  Slot floor_ = 1;
+  std::uint64_t pruned_ = 0;
 };
 
 }  // namespace fastbft::engine

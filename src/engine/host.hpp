@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+
+/// \file host.hpp
+/// Execution-context seam between the SMR engine and whatever runs it.
+/// A Host is one logical thread of execution with a clock and one-shot
+/// timers: the engine (SlotMux, TimerWheel, per-slot synchronizers) talks
+/// only to this interface, so the identical engine code runs on the
+/// deterministic simulator (SimHost, ticks = scheduler ticks) and on real
+/// OS threads over wall-clock time (ThreadedHost, ticks = microseconds of
+/// a steady clock).
+///
+/// Single-threaded-executor guarantee: every callback a Host runs — timer
+/// callbacks, deferred closures, and (by construction of the surrounding
+/// runtime) message handlers — executes on the same logical thread, one at
+/// a time. Engine code therefore needs no locks, on either host. The
+/// flip side is the same-thread contract on sim::TimerHandle: handles
+/// minted through a Host must be cancelled on that host's thread only.
+
+namespace fastbft::engine {
+
+class Host : public sim::TimerService {
+ public:
+  /// Current time in this host's ticks (simulated ticks or microseconds).
+  /// Only meaningful relative to other now() values from the same host.
+  virtual TimePoint now() const = 0;
+
+  /// Runs `fn` after the currently-executing handler returns, on the host
+  /// thread. Used to defer teardown out of a protocol object's own
+  /// callback (e.g. destroying a replica from its decide handler).
+  void defer(std::function<void()> fn) { schedule_after(0, std::move(fn)); }
+};
+
+/// Thin adapter over the deterministic simulator: the scheduler already is
+/// a single-threaded timer service with a clock.
+class SimHost final : public Host {
+ public:
+  explicit SimHost(sim::Scheduler& sched) : sched_(sched) {}
+
+  TimePoint now() const override { return sched_.now(); }
+  sim::TimerHandle schedule_after(Duration delay,
+                                  std::function<void()> fn) override {
+    return sched_.schedule_after(delay, std::move(fn));
+  }
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+}  // namespace fastbft::engine

@@ -7,10 +7,14 @@ namespace fastbft::engine {
 
 namespace {
 
-Bytes wrap(Slot slot, const Bytes& inner) {
+/// SMR_WRAPPED{slot, watermark, inner}: `watermark` gossips the sender's
+/// applied watermark (lowest unapplied slot) on every wrapped message, so
+/// peers can trim decided-value retention below the cluster-wide minimum.
+Bytes wrap(Slot slot, Slot watermark, const Bytes& inner) {
   Encoder enc;
   enc.u8(net::tags::kSmrWrapped);
   enc.u64(slot);
+  enc.u64(watermark);
   enc.bytes(inner);
   return std::move(enc).take();
 }
@@ -29,15 +33,15 @@ ProcessId SlotMux::SlotChannel::self() const {
   return mux_.transport_.self();
 }
 
-SlotMux::SlotMux(const runtime::ProcessContext& ctx,
-                 net::Transport& transport, SlotMuxOptions options,
-                 ApplyFn apply)
-    : ctx_(ctx),
+SlotMux::SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
+                 SlotMuxOptions options, ApplyFn apply)
+    : host_(host),
+      ctx_(std::move(ctx)),
       transport_(transport),
-      options_(options),
+      options_(std::move(options)),
       apply_(std::move(apply)),
-      timers_(*ctx.scheduler),
-      catchup_(ctx.cfg.f + 1) {
+      timers_(host_),
+      catchup_(ctx_.cfg.f + 1, ctx_.cfg.n) {
   FASTBFT_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
 }
 
@@ -48,11 +52,19 @@ void SlotMux::start() { fill_window(); }
 bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
 
 void SlotMux::send_wrapped(Slot slot, ProcessId to, Bytes payload) {
-  transport_.send(to, wrap(slot, payload));
+  transport_.send(to, wrap(slot, next_apply_, payload));
 }
 
 void SlotMux::fill_window() {
   while (!done() && next_start_ < next_apply_ + options_.pipeline_depth) {
+    if (options_.max_reorder_backlog > 0 &&
+        reorder_.size() > options_.max_reorder_backlog) {
+      // Congestion clamp: decisions are piling up behind a stalled slot;
+      // opening more slots would only deepen the backlog. The window
+      // refills when the stall resolves (drain_apply + fill_window).
+      ++clamp_stalls_;
+      break;
+    }
     start_slot(next_start_++);
   }
 }
@@ -74,13 +86,13 @@ void SlotMux::start_slot(Slot slot) {
   Instance inst;
   inst.channel = std::make_unique<SlotChannel>(*this, slot);
 
-  viewsync::SynchronizerConfig sync_cfg = options_.node.sync;
+  viewsync::SynchronizerConfig sync_cfg = options_.sync;
   sync_cfg.f = ctx_.cfg.f;
 
   auto on_decide = [this, slot](const consensus::DecisionRecord& record) {
     // Deciding happens inside the replica's message handler; defer the
     // teardown so we never destroy an executing replica.
-    ctx_.scheduler->schedule_after(0, [this, slot, value = record.value] {
+    host_.defer([this, slot, value = record.value] {
       on_slot_decided(slot, value);
     });
   };
@@ -88,7 +100,7 @@ void SlotMux::start_slot(Slot slot) {
   inst.replica = std::make_unique<consensus::Replica>(
       ctx_.cfg, ctx_.id, make_input(slot), *inst.channel,
       crypto::Signer(ctx_.keys, ctx_.id), crypto::Verifier(ctx_.keys),
-      leader_for(slot), on_decide, options_.node.replica);
+      leader_for(slot), on_decide, options_.replica);
   inst.sync = std::make_unique<viewsync::Synchronizer>(
       sync_cfg, ctx_.id, *inst.channel, timers_,
       [replica = inst.replica.get()](View v) { replica->enter_view(v); });
@@ -101,7 +113,7 @@ void SlotMux::start_slot(Slot slot) {
 
   // A laggard may already hold f + 1 matching decided claims for this slot.
   if (auto claim = catchup_.ready_claim(slot)) {
-    ctx_.scheduler->schedule_after(0, [this, slot, value = *claim] {
+    host_.defer([this, slot, value = *claim] {
       on_slot_decided(slot, value);
     });
   }
@@ -129,6 +141,9 @@ void SlotMux::drain_apply() {
     reorder_.erase(it);
     ++next_apply_;
   }
+  // Our own watermark advanced; it participates in the prune floor exactly
+  // like gossiped peer watermarks.
+  catchup_.note_watermark(ctx_.id, next_apply_);
 }
 
 void SlotMux::apply_value(Slot slot, const Value& value) {
@@ -154,13 +169,18 @@ void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
   Decoder dec(payload);
   dec.u8();
   Slot slot = dec.u64();
+  Slot watermark = dec.u64();
   Bytes inner = dec.bytes();
   if (!dec.ok() || !dec.at_end() || slot == 0) return;
+
+  catchup_.note_watermark(from, watermark);
 
   if (catchup_.decided(slot) != nullptr) {
     // Traffic for a slot we already decided marks the sender as a laggard:
     // answer with the decided value (classic state transfer; fast-path
-    // acks are not transferable proof).
+    // acks are not transferable proof). Slots pruned below the watermark
+    // floor no longer reach this branch — by the floor's definition the
+    // sender already applied them, so honest peers never ask.
     if (auto reply = catchup_.reply_for(slot, from)) {
       transport_.send(from, std::move(*reply));
     }
@@ -201,8 +221,8 @@ void SlotMux::on_decided_claim(ProcessId from, const Bytes& payload) {
 }
 
 void SlotMux::note_inflight() {
-  if (ctx_.network != nullptr) {
-    ctx_.network->stats().note_inflight_slots(ctx_.id, inflight_slots());
+  if (ctx_.stats != nullptr) {
+    ctx_.stats->note_inflight_slots(ctx_.id, inflight_slots());
   }
 }
 

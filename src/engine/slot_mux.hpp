@@ -4,11 +4,14 @@
 #include <memory>
 #include <vector>
 
+#include "consensus/replica.hpp"
 #include "engine/catchup.hpp"
+#include "engine/host.hpp"
 #include "engine/pending_queue.hpp"
 #include "engine/timer_wheel.hpp"
-#include "runtime/cluster.hpp"
+#include "net/stats.hpp"
 #include "smr/batch.hpp"
+#include "viewsync/synchronizer.hpp"
 
 /// \file slot_mux.hpp
 /// Slot-multiplexed consensus engine: a sliding window of up to
@@ -16,25 +19,47 @@
 /// paper-protocol Replica + view synchronizer per slot), multiplexed over
 /// one transport endpoint and one timer wheel.
 ///
+/// The engine is host-agnostic: it runs against the engine::Host seam
+/// (clock + timers + single-threaded executor), so the identical code
+/// drives the deterministic simulator (SimHost) and real OS threads over
+/// wall-clock time (ThreadedHost + runtime::ThreadedSmrCluster).
+///
 /// Responsibilities:
 ///  * window management — slot s starts as soon as s < next_apply +
 ///    pipeline_depth, so up to `depth` slots run their 2-step fast paths
-///    concurrently instead of strictly one after another;
-///  * dispatch — all SMR_WRAPPED{slot, inner} traffic is routed through a
-///    single slot -> instance table (no per-slot transport shims on the
-///    receive path);
+///    concurrently instead of strictly one after another; a congestion
+///    clamp (`max_reorder_backlog`) additionally stops opening slots while
+///    too many decisions sit blocked behind a stalled predecessor;
+///  * dispatch — all SMR_WRAPPED{slot, watermark, inner} traffic is routed
+///    through a single slot -> instance table (no per-slot transport shims
+///    on the receive path);
 ///  * in-order apply — decisions may land out of slot order (a faulty
 ///    leader stalls slot k while k+1 decides); a reorder buffer holds them
 ///    until every predecessor applied, so the state machine sees the log
 ///    strictly in slot order;
 ///  * garbage collection — a slot's replica, synchronizer and timers are
 ///    torn down the moment it decides; claim/claim-reply bookkeeping is
-///    dropped as slots retire;
+///    dropped as slots retire; retained decided values are pruned below
+///    the cluster-wide applied watermark gossiped in SMR traffic;
 ///  * policy objects — client-command intake/dedup/claims (PendingQueue)
 ///    and decided-value state transfer (CatchUpPolicy) live behind the
 ///    engine rather than in the client-facing SMR shell.
 
 namespace fastbft::engine {
+
+/// Cluster identity and key material the engine needs; host-independent.
+/// (The simulator fills this from runtime::ProcessContext; the threaded
+/// runtime builds it directly.)
+struct EngineContext {
+  consensus::QuorumConfig cfg;
+  ProcessId id = kNoProcess;
+  std::shared_ptr<const crypto::KeyStore> keys;
+  consensus::LeaderFn leader_of;
+
+  /// Optional in-flight-window gauge sink. Sim-only: NetworkStats is not
+  /// thread-safe, so threaded hosts leave it null.
+  net::NetworkStats* stats = nullptr;
+};
 
 struct SlotMuxOptions {
   /// Consensus slots allowed in flight concurrently. 1 reproduces the
@@ -55,8 +80,19 @@ struct SlotMuxOptions {
   /// single-shot experiments assume the slot-independent leader function.
   bool rotate_leaders = false;
 
-  /// Per-slot consensus/synchronizer tuning.
-  runtime::NodeOptions node;
+  /// Congestion-style depth clamp: while more than this many decisions are
+  /// parked in the reorder buffer (blocked behind a stalled slot), no new
+  /// slots are opened — deciding even further ahead only grows the buffer.
+  /// 0 disables the clamp (window-only limiting, the PR-1 behaviour).
+  std::size_t max_reorder_backlog = 0;
+
+  /// Per-slot consensus tuning.
+  consensus::ReplicaOptions replica;
+
+  /// Per-slot view-synchronizer tuning (f is overwritten from the quorum
+  /// config; base_timeout is in host ticks — simulator ticks or
+  /// microseconds on the wall-clock host).
+  viewsync::SynchronizerConfig sync;
 };
 
 class SlotMux {
@@ -66,7 +102,7 @@ class SlotMux {
   using ApplyFn =
       std::function<void(Slot slot, const std::vector<smr::Command>&)>;
 
-  SlotMux(const runtime::ProcessContext& ctx, net::Transport& transport,
+  SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
           SlotMuxOptions options, ApplyFn apply);
   ~SlotMux();
 
@@ -98,9 +134,16 @@ class SlotMux {
     return static_cast<std::uint32_t>(active_.size());
   }
 
+  /// Decisions currently parked for in-order apply.
+  std::size_t reorder_pending() const { return reorder_.size(); }
+
   /// High-water mark of decisions parked for in-order apply — nonzero iff
   /// slots decided out of order at some point.
   std::size_t reorder_high_water() const { return reorder_high_water_; }
+
+  /// Times fill_window() stopped early because the reorder backlog
+  /// exceeded max_reorder_backlog.
+  std::uint64_t clamp_stalls() const { return clamp_stalls_; }
 
   std::uint64_t applied_commands() const { return applied_commands_; }
   std::uint64_t noop_slots() const { return noop_slots_; }
@@ -145,7 +188,8 @@ class SlotMux {
   void send_wrapped(Slot slot, ProcessId to, Bytes payload);
   void note_inflight();
 
-  runtime::ProcessContext ctx_;
+  Host& host_;
+  EngineContext ctx_;
   net::Transport& transport_;
   SlotMuxOptions options_;
   ApplyFn apply_;
@@ -160,6 +204,7 @@ class SlotMux {
   /// Decided out of order, waiting for predecessors: slot -> value.
   std::map<Slot, Value> reorder_;
   std::size_t reorder_high_water_ = 0;
+  std::uint64_t clamp_stalls_ = 0;
 
   Slot next_start_ = 1;
   Slot next_apply_ = 1;

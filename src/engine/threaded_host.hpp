@@ -1,0 +1,55 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "engine/host.hpp"
+#include "net/threaded_network.hpp"
+
+/// \file threaded_host.hpp
+/// Wall-clock engine host: adapts the per-delivery-thread steady-clock
+/// timer queues of net::ThreadedNetwork to the engine::Host seam. One
+/// host per process; ticks are microseconds since the network's epoch.
+/// Timer callbacks and message handlers both run on the process's single
+/// delivery thread, so the engine keeps its lock-free single-threaded
+/// discipline on real concurrency. The sim::TimerHandle same-thread
+/// contract is asserted by the network at arm/cancel time.
+
+namespace fastbft::engine {
+
+class ThreadedHost final : public Host {
+ public:
+  ThreadedHost(net::ThreadedNetwork& net, ProcessId id)
+      : net_(net), id_(id) {}
+
+  ThreadedHost(const ThreadedHost&) = delete;
+  ThreadedHost& operator=(const ThreadedHost&) = delete;
+  ~ThreadedHost() override { *alive_ = false; }
+
+  TimePoint now() const override { return net_.now_ticks(); }
+
+  sim::TimerHandle schedule_after(Duration delay,
+                                  std::function<void()> fn) override {
+    auto cancelled = std::make_shared<bool>(false);
+    TimePoint at = net_.now_ticks() + std::max<Duration>(delay, 0);
+    // The flag guard makes correctness independent of the eager erase; the
+    // erase (below) is what keeps cancelled timers from pinning the
+    // inbox's timer queue until their deadline.
+    auto key = net_.arm_timer(id_, at, [cancelled, fn = std::move(fn)] {
+      if (!*cancelled) fn();
+    });
+    return make_handle(cancelled,
+                       [&net = net_, id = id_, key, alive = alive_] {
+                         if (*alive) net.cancel_timer(id, key);
+                       });
+  }
+
+ private:
+  net::ThreadedNetwork& net_;
+  ProcessId id_;
+  /// Handles may outlive the host during cluster teardown; the flag keeps
+  /// their eager-cancel hook from touching a dead network reference.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace fastbft::engine

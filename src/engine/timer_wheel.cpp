@@ -4,40 +4,46 @@ namespace fastbft::engine {
 
 TimerWheel::~TimerWheel() {
   *alive_ = false;
-  scheduler_event_.cancel();
+  host_event_.cancel();
 }
 
 sim::TimerHandle TimerWheel::schedule_after(Duration delay,
                                             std::function<void()> fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{sched_.now() + delay, next_seq_++, std::move(fn),
-                   cancelled});
+  Key key{host_.now() + delay, next_seq_++};
+  entries_.emplace(key, std::move(fn));
   if (!firing_) arm();
-  return make_handle(std::move(cancelled));
+  auto cancelled = std::make_shared<bool>(false);
+  // Eager drop: cancelling erases the entry now instead of letting it ride
+  // to its deadline. `alive_` guards against handles outliving the wheel.
+  return make_handle(cancelled, [this, key, alive = alive_] {
+    if (!*alive) return;
+    if (entries_.erase(key) > 0) ++cancelled_dropped_;
+  });
 }
 
 void TimerWheel::arm() {
-  if (heap_.empty()) {
-    scheduler_event_.cancel();
+  if (entries_.empty()) {
+    host_event_.cancel();
     armed_at_ = kTimeInfinity;
     return;
   }
-  TimePoint next = heap_.top().at;
-  if (scheduler_event_.active() && armed_at_ <= next) return;
-  scheduler_event_.cancel();
+  TimePoint next = entries_.begin()->first.first;
+  if (host_event_.active() && armed_at_ <= next) return;
+  host_event_.cancel();
   armed_at_ = next;
-  scheduler_event_ = sched_.schedule_at(next, [this, alive = alive_] {
+  Duration delay = std::max<Duration>(0, next - host_.now());
+  host_event_ = host_.schedule_after(delay, [this, alive = alive_] {
     if (*alive) fire();
   });
 }
 
 void TimerWheel::fire() {
   firing_ = true;
-  TimePoint now = sched_.now();
-  while (!heap_.empty() && heap_.top().at <= now) {
-    Entry entry = heap_.top();
-    heap_.pop();
-    if (!*entry.cancelled) entry.fn();
+  TimePoint now = host_.now();
+  while (!entries_.empty() && entries_.begin()->first.first <= now) {
+    auto fn = std::move(entries_.begin()->second);
+    entries_.erase(entries_.begin());
+    fn();
   }
   firing_ = false;
   armed_at_ = kTimeInfinity;

@@ -1,25 +1,30 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <queue>
-#include <vector>
+#include <utility>
 
-#include "sim/scheduler.hpp"
+#include "engine/host.hpp"
 
 /// \file timer_wheel.hpp
 /// Engine-scoped timer multiplexer. A pipelined SMR engine runs up to
 /// `pipeline_depth` view synchronizers concurrently, each of which arms and
 /// re-arms timeouts; routing every logical timer through one wheel keeps
-/// exactly one event outstanding in the scheduler per engine (the earliest
+/// exactly one event outstanding in the host per engine (the earliest
 /// deadline) instead of one per slot, and gives the engine a single place
 /// to introspect and tear down all slot-scoped timers.
+///
+/// Cancellation is eager: cancelling a handle erases its wheel entry
+/// immediately (TimerHandle's on_cancel hook), so dead timers never pin
+/// wheel slots until their deadline. The wheel inherits the host's
+/// same-thread contract — schedule and cancel only on the host thread.
 
 namespace fastbft::engine {
 
 class TimerWheel final : public sim::TimerService {
  public:
-  explicit TimerWheel(sim::Scheduler& sched) : sched_(sched) {}
+  explicit TimerWheel(Host& host) : host_(host) {}
 
   TimerWheel(const TimerWheel&) = delete;
   TimerWheel& operator=(const TimerWheel&) = delete;
@@ -28,32 +33,27 @@ class TimerWheel final : public sim::TimerService {
   sim::TimerHandle schedule_after(Duration delay,
                                   std::function<void()> fn) override;
 
-  /// Logical timers currently queued (cancelled entries included until
-  /// their deadline pops them).
-  std::size_t pending() const { return heap_.size(); }
+  /// Live logical timers currently queued (cancelled entries are dropped
+  /// eagerly, so they never count).
+  std::size_t pending() const { return entries_.size(); }
+
+  /// Entries erased by eager cancellation so far.
+  std::uint64_t cancelled_dropped() const { return cancelled_dropped_; }
 
  private:
-  struct Entry {
-    TimePoint at = 0;
-    std::uint64_t seq = 0;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// (deadline, sequence) — unique forever, so a stale cancel of an entry
+  /// that already fired erases nothing.
+  using Key = std::pair<TimePoint, std::uint64_t>;
 
   void arm();
   void fire();
 
-  sim::Scheduler& sched_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  sim::TimerHandle scheduler_event_;
+  Host& host_;
+  std::map<Key, std::function<void()>> entries_;
+  sim::TimerHandle host_event_;
   TimePoint armed_at_ = kTimeInfinity;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t cancelled_dropped_ = 0;
   bool firing_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

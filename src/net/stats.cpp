@@ -15,7 +15,8 @@ void NetworkStats::record_send(const Bytes& payload) {
   total_messages_ += 1;
   total_bytes_ += payload.size();
 
-  // SMR_WRAPPED carries the slot index right after the tag byte;
+  // SMR_WRAPPED carries the slot index right after the tag byte (the
+  // sender's applied watermark and the inner payload follow it);
   // attribute the message to its slot.
   if (tag == tags::kSmrWrapped && payload.size() >= 9) {
     Decoder dec(payload);

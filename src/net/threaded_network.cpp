@@ -10,8 +10,9 @@ void ThreadedEndpoint::send(ProcessId to, Bytes payload) {
 
 std::uint32_t ThreadedEndpoint::cluster_size() const { return net_.size(); }
 
-ThreadedNetwork::ThreadedNetwork(std::uint32_t n)
-    : n_(n), handlers_(n), disconnected_(n) {
+ThreadedNetwork::ThreadedNetwork(std::uint32_t n,
+                                 ThreadedNetworkConfig config)
+    : n_(n), config_(config), handlers_(n), disconnected_(n) {
   for (std::uint32_t i = 0; i < n; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
     disconnected_[i].store(false);
@@ -50,6 +51,7 @@ void ThreadedNetwork::stop() {
     for (auto& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
+    stopped_.store(true);
     return;
   }
   for (auto& inbox : inboxes_) {
@@ -59,6 +61,7 @@ void ThreadedNetwork::stop() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  stopped_.store(true);
 }
 
 void ThreadedNetwork::disconnect(ProcessId id) {
@@ -67,40 +70,111 @@ void ThreadedNetwork::disconnect(ProcessId id) {
   inboxes_[id]->cv.notify_all();
 }
 
+TimePoint ThreadedNetwork::now_ticks() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
 void ThreadedNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
   FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
   if (stopping_.load()) return;
   if (disconnected_[from].load() || disconnected_[to].load()) return;
+  TimePoint at = now_ticks();
+  if (from != to) at += config_.link_delay.count();
   Inbox& inbox = *inboxes_[to];
   {
     std::lock_guard<std::mutex> lock(inbox.mutex);
-    inbox.queue.push_back(Envelope{from, to, std::move(payload)});
+    inbox.queue.emplace(std::make_pair(at, inbox.next_env_seq++),
+                        Envelope{from, to, std::move(payload)});
   }
   inbox.cv.notify_one();
 }
 
+void ThreadedNetwork::assert_timer_owner(ProcessId id) const {
+  // Before start() the setup thread owns everything; after stop() the
+  // delivery threads are joined and the tearing-down thread owns
+  // everything; in between only the delivery thread itself may touch its
+  // timers (TimerHandle carries no synchronization).
+  FASTBFT_ASSERT(!started_ || stopped_.load() ||
+                     std::this_thread::get_id() ==
+                         inboxes_[id]->owner.load(std::memory_order_acquire),
+                 "timers are same-thread only: arm/cancel on the owning "
+                 "delivery thread");
+}
+
+std::pair<TimePoint, std::uint64_t> ThreadedNetwork::arm_timer(
+    ProcessId id, TimePoint at_ticks, std::function<void()> fn) {
+  FASTBFT_ASSERT(id < n_, "arm_timer: id out of range");
+  assert_timer_owner(id);
+  Inbox& inbox = *inboxes_[id];
+  auto key = std::make_pair(at_ticks, inbox.next_timer_seq++);
+  inbox.timers.emplace(key, std::move(fn));
+  return key;
+}
+
+void ThreadedNetwork::cancel_timer(ProcessId id,
+                                   std::pair<TimePoint, std::uint64_t> key) {
+  FASTBFT_ASSERT(id < n_, "cancel_timer: id out of range");
+  assert_timer_owner(id);
+  inboxes_[id]->timers.erase(key);
+}
+
 void ThreadedNetwork::run_worker(ProcessId id) {
   Inbox& inbox = *inboxes_[id];
+  inbox.owner.store(std::this_thread::get_id(), std::memory_order_release);
   while (true) {
+    std::function<void()> timer_fn;
     Envelope env;
+    bool have_env = false;
     {
       std::unique_lock<std::mutex> lock(inbox.mutex);
-      inbox.cv.wait(lock, [&] {
-        return stopping_.load() || disconnected_[id].load() ||
-               !inbox.queue.empty();
-      });
-      if (stopping_.load()) return;
-      if (disconnected_[id].load()) {
-        inbox.queue.clear();
-        // Stay parked until shutdown (a crashed process never recovers).
-        inbox.cv.wait(lock, [&] { return stopping_.load(); });
-        return;
+      for (;;) {
+        if (stopping_.load()) return;
+        if (disconnected_[id].load()) {
+          // A crashed process goes silent: inbox dropped, timers never
+          // fire. Stay parked until shutdown.
+          inbox.queue.clear();
+          inbox.cv.wait(lock, [&] { return stopping_.load(); });
+          return;
+        }
+        TimePoint now = now_ticks();
+        // Due timers run before due messages: deadlines are promises to
+        // the protocol layer, queue drain is best-effort anyway.
+        if (!inbox.timers.empty() &&
+            inbox.timers.begin()->first.first <= now) {
+          timer_fn = std::move(inbox.timers.begin()->second);
+          inbox.timers.erase(inbox.timers.begin());
+          break;
+        }
+        if (!inbox.queue.empty() && inbox.queue.begin()->first.first <= now) {
+          env = std::move(inbox.queue.begin()->second);
+          inbox.queue.erase(inbox.queue.begin());
+          have_env = true;
+          break;
+        }
+        TimePoint next = kTimeInfinity;
+        if (!inbox.timers.empty()) {
+          next = inbox.timers.begin()->first.first;
+        }
+        if (!inbox.queue.empty()) {
+          next = std::min(next, inbox.queue.begin()->first.first);
+        }
+        if (next == kTimeInfinity) {
+          inbox.cv.wait(lock);
+        } else {
+          inbox.cv.wait_until(lock,
+                              epoch_ + std::chrono::microseconds(next));
+        }
       }
-      env = std::move(inbox.queue.front());
-      inbox.queue.pop_front();
     }
-    delivered_.fetch_add(1);
-    handlers_[id](env.from, env.payload);
+    if (have_env) {
+      delivered_.fetch_add(1);
+      handlers_[id](env.from, env.payload);
+    } else if (timer_fn) {
+      timers_fired_.fetch_add(1);
+      timer_fn();
+    }
   }
 }
 

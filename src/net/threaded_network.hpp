@@ -1,11 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -15,16 +18,25 @@
 /// inboxes, actual wall-clock time. This is the "networking boilerplate"
 /// path that demonstrates the protocol engines are not simulation-bound:
 /// the same consensus::Replica runs unmodified over this transport
-/// (tests/test_threaded.cpp, examples/realtime_quickstart.cpp,
-/// bench_codec's threaded benchmark).
+/// (tests/test_threaded.cpp, examples/realtime_quickstart.cpp), and the
+/// pipelined SMR engine runs over it through the engine::Host seam
+/// (runtime::ThreadedSmrCluster).
 ///
-/// Scope: in-process message passing modelling a low-latency LAN. Each
-/// process's handler runs exclusively on that process's thread, so replica
-/// code stays single-threaded (the same discipline a production
-/// event-loop-per-peer deployment would use). There are no timers here —
-/// view synchronization needs a clock source, so threaded runs exercise
-/// the fast path and crash tolerance within it; partial synchrony
-/// experiments live in the deterministic simulator.
+/// Scope: in-process message passing modelling a low-latency LAN (an
+/// optional fixed `link_delay` models the LAN round-trip explicitly). Each
+/// process's handler runs exclusively on that process's delivery thread,
+/// so replica code stays single-threaded (the same discipline a production
+/// event-loop-per-peer deployment would use).
+///
+/// Timers: each delivery thread owns a steady-clock timer queue; timer
+/// callbacks fire interleaved with message handlers ON THAT SAME THREAD,
+/// preserving the single-threaded-replica discipline. This is the clock
+/// source the wall-clock engine host (engine::ThreadedHost) adapts to
+/// sim::TimerService, which is what lets view synchronizers — and with
+/// them leader-rotating, view-changing SMR — run over real threads.
+/// Arm/cancel are same-thread-only by contract (asserted): only the
+/// owning delivery thread (or the setup thread before start() / after
+/// stop()) may touch a process's timers.
 
 namespace fastbft::net {
 
@@ -44,9 +56,20 @@ class ThreadedEndpoint final : public Transport {
   ProcessId self_;
 };
 
+struct ThreadedNetworkConfig {
+  /// Fixed delivery delay for remote messages (self-sends stay immediate,
+  /// matching the simulator's convention). Zero delivers as soon as the
+  /// destination thread is free. Inboxes are ordered by (delivery time,
+  /// arrival sequence), so an immediate self-send is never head-of-line
+  /// blocked behind a delayed remote message.
+  std::chrono::microseconds link_delay{0};
+};
+
 class ThreadedNetwork {
  public:
-  explicit ThreadedNetwork(std::uint32_t n);
+  using Clock = std::chrono::steady_clock;
+
+  explicit ThreadedNetwork(std::uint32_t n, ThreadedNetworkConfig config = {});
   ~ThreadedNetwork();
 
   ThreadedNetwork(const ThreadedNetwork&) = delete;
@@ -61,34 +84,73 @@ class ThreadedNetwork {
   void start();
 
   /// Drains and joins all threads. Safe to call twice; called by the
-  /// destructor.
+  /// destructor. Pending timers are dropped.
   void stop();
 
-  /// Simulates a crash: the process stops receiving and its sends are
-  /// dropped. Thread-safe.
+  /// Simulates a crash: the process stops receiving, its sends are
+  /// dropped and its timers never fire again. Thread-safe.
   void disconnect(ProcessId id);
 
   void send(ProcessId from, ProcessId to, Bytes payload);
 
+  // --- Wall-clock timers (same-thread contract) -----------------------------
+
+  /// Microseconds since this network's construction; the tick unit of every
+  /// timer deadline below and of engine::ThreadedHost clocks.
+  TimePoint now_ticks() const;
+
+  /// Arms `fn` to fire at `at_ticks` on process `id`'s delivery thread.
+  /// Returns the key needed to cancel. MUST be called on that same
+  /// delivery thread (or before start() / after stop()) — asserted.
+  std::pair<TimePoint, std::uint64_t> arm_timer(ProcessId id,
+                                                TimePoint at_ticks,
+                                                std::function<void()> fn);
+
+  /// Eagerly drops a timer armed with arm_timer. No-op if it already fired
+  /// or was cancelled. Same-thread contract as arm_timer.
+  void cancel_timer(ProcessId id, std::pair<TimePoint, std::uint64_t> key);
+
   std::uint32_t size() const { return n_; }
   std::uint64_t delivered_count() const { return delivered_.load(); }
+  std::uint64_t timers_fired() const { return timers_fired_.load(); }
 
  private:
   struct Inbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Envelope> queue;
+    /// (delivery time, arrival sequence) -> message: delivery-time order
+    /// with FIFO tie-break, so zero-delay self-sends overtake delayed
+    /// remote traffic exactly as they do on the simulator.
+    std::map<std::pair<TimePoint, std::uint64_t>, Envelope> queue;
+    std::uint64_t next_env_seq = 0;
+
+    /// Owned by the delivery thread (plus pre-start/post-stop setup, which
+    /// is ordered by thread creation/join): no lock needed for the
+    /// contract-abiding caller, but the worker reads it under `mutex`
+    /// while computing its wait deadline, which is harmless same-thread.
+    std::map<std::pair<TimePoint, std::uint64_t>, std::function<void()>>
+        timers;
+    std::uint64_t next_timer_seq = 0;
+
+    /// Delivery thread id, set as the worker starts (atomic only so the
+    /// contract assert itself is race-free).
+    std::atomic<std::thread::id> owner{};
   };
 
   void run_worker(ProcessId id);
+  void assert_timer_owner(ProcessId id) const;
 
   std::uint32_t n_;
+  ThreadedNetworkConfig config_;
+  Clock::time_point epoch_ = Clock::now();
   std::vector<ReceiveHandler> handlers_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::vector<std::thread> workers_;
   std::vector<std::atomic<bool>> disconnected_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> timers_fired_{0};
   bool started_ = false;
 };
 

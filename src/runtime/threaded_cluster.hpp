@@ -15,9 +15,11 @@
 ///
 /// Each replica's messages are processed exclusively on its own delivery
 /// thread; the only cross-thread state is the decision ledger, guarded by
-/// a mutex. There is no view synchronizer (no timer source), so these
-/// clusters exercise the fast and slow paths: a dead leader means no
-/// decision, which the tests assert via timeout.
+/// a mutex. This cluster deliberately runs WITHOUT a view synchronizer,
+/// so it exercises the fast and slow paths in isolation: a dead leader
+/// means no decision, which the tests assert via timeout. For wall-clock
+/// runs with timers, view changes and a replicated log, see
+/// runtime::ThreadedSmrCluster (the full engine over the same transport).
 
 namespace fastbft::runtime {
 

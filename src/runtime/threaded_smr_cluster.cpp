@@ -1,0 +1,128 @@
+#include "runtime/threaded_smr_cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::runtime {
+
+ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
+                                       ThreadedSmrClusterOptions options)
+    : cfg_(cfg),
+      options_(std::move(options)),
+      net_(cfg.n, net::ThreadedNetworkConfig{options_.link_delay}),
+      keys_(std::make_shared<const crypto::KeyStore>(options_.key_seed,
+                                                     cfg.n)),
+      applied_count_(cfg.n, 0),
+      applied_slots_(cfg.n),
+      faulty_(cfg.n, false) {
+  auto leader_of = consensus::round_robin_leader(cfg.n);
+  smr::SmrOptions smr_options = options_.smr;
+  smr_options.node.sync.base_timeout = options_.sync_base_timeout_us;
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    hosts_.push_back(std::make_unique<engine::ThreadedHost>(net_, id));
+    engine::EngineContext ectx{cfg, id, keys_, leader_of,
+                               /*stats=*/nullptr};
+    nodes_.push_back(std::make_unique<smr::SmrNode>(
+        *hosts_.back(), std::move(ectx), net_.endpoint(id), smr_options,
+        [this](ProcessId pid, Slot slot, const std::vector<smr::Command>&
+                                             commands) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          applied_count_[pid] += commands.size();
+          applied_slots_[pid].push_back(slot);
+          applied_cv_.notify_all();
+        }));
+    net_.attach(id, [this, id](ProcessId from, const Bytes& payload) {
+      nodes_[id]->on_message(from, payload);
+    });
+  }
+}
+
+ThreadedSmrCluster::~ThreadedSmrCluster() { stop(); }
+
+void ThreadedSmrCluster::crash(ProcessId id) {
+  FASTBFT_ASSERT(id < cfg_.n, "crash: id out of range");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    faulty_[id] = true;
+    applied_cv_.notify_all();
+  }
+  net_.disconnect(id);
+}
+
+void ThreadedSmrCluster::start() {
+  FASTBFT_ASSERT(!started_, "already started");
+  started_ = true;
+  // Seed while no delivery thread runs: the initial slot windows open,
+  // proposals queue into the inboxes and view-1 timers arm, all
+  // single-threaded. Crashed-before-start processes are seeded too; their
+  // traffic and timers are simply never serviced.
+  for (auto& node : nodes_) {
+    node->start();
+  }
+  net_.start();
+}
+
+void ThreadedSmrCluster::stop() {
+  net_.stop();
+  stopped_ = true;
+}
+
+void ThreadedSmrCluster::submit(const smr::Command& cmd, ProcessId gateway) {
+  FASTBFT_ASSERT(gateway < cfg_.n, "submit: gateway out of range");
+  if (!started_) {
+    // Synchronous pre-start injection into every pending queue, so the
+    // first window's proposals already carry real batches instead of
+    // noops (exactly what SMR_REQUEST broadcast would deliver, minus the
+    // wire hop).
+    Bytes payload = smr::SmrNode::encode_request(cmd);
+    for (auto& node : nodes_) {
+      node->on_message(gateway, payload);
+    }
+    return;
+  }
+  nodes_[gateway]->submit(cmd);
+}
+
+bool ThreadedSmrCluster::wait_applied(std::uint64_t commands,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return applied_cv_.wait_for(lock, timeout, [&] {
+    for (ProcessId id = 0; id < cfg_.n; ++id) {
+      if (faulty_[id]) continue;
+      if (applied_count_[id] < commands) return false;
+    }
+    return true;
+  });
+}
+
+std::uint64_t ThreadedSmrCluster::applied_commands(ProcessId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return applied_count_[id];
+}
+
+std::vector<Slot> ThreadedSmrCluster::applied_slots(ProcessId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return applied_slots_[id];
+}
+
+bool ThreadedSmrCluster::is_faulty(ProcessId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faulty_[id];
+}
+
+bool ThreadedSmrCluster::correct_stores_agree() const {
+  FASTBFT_ASSERT(stopped_, "store introspection only after stop()");
+  const smr::KvStore* first = nullptr;
+  for (ProcessId id = 0; id < cfg_.n; ++id) {
+    if (faulty_[id]) continue;
+    if (first == nullptr) {
+      first = &nodes_[id]->store();
+    } else if (nodes_[id]->store().state_digest() !=
+               first->state_digest()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastbft::runtime

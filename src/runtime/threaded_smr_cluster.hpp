@@ -1,0 +1,126 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "engine/threaded_host.hpp"
+#include "smr/smr_node.hpp"
+
+/// \file threaded_smr_cluster.hpp
+/// Pipelined, leader-rotating, view-changing state machine replication
+/// over real OS threads and wall-clock time: the host-agnostic SMR engine
+/// (engine::SlotMux and friends) running on one engine::ThreadedHost per
+/// process. Each process's consensus instances, view synchronizers and
+/// timers all execute on its single ThreadedNetwork delivery thread, so
+/// protocol code is identical to the simulator runs — only the Host
+/// changes.
+///
+/// Unlike runtime::ThreadedCluster (single-shot, no clock source, fast
+/// path only), this cluster has wall-clock timers, so a crashed leader is
+/// survived by view change exactly as on the simulator — just with real
+/// microseconds instead of scripted Delta.
+///
+/// Threading model: delivery threads run the nodes; the driver thread
+/// (tests/benchmarks) only touches the thread-safe surface — submit(),
+/// crash(), wait_*(), and the snapshot accessors. Per-node engine/KV
+/// introspection (node(), digests) is safe only before start() or after
+/// stop(), when no delivery thread is running.
+
+namespace fastbft::runtime {
+
+struct ThreadedSmrClusterOptions {
+  smr::SmrOptions smr;
+
+  /// Fixed one-way delivery delay between distinct processes — models a
+  /// LAN link so wall-clock pipelining numbers measure protocol overlap,
+  /// not mutex turnaround.
+  std::chrono::microseconds link_delay{0};
+
+  /// View-synchronizer base timeout in wall-clock microseconds (overrides
+  /// smr.node.sync.base_timeout, whose simulator-tick default of 1200 is
+  /// meaningless on this host). Must comfortably exceed a few slot
+  /// round-trips, including sanitizer slowdowns.
+  Duration sync_base_timeout_us = 25'000;
+
+  std::uint64_t key_seed = 42;
+};
+
+class ThreadedSmrCluster {
+ public:
+  ThreadedSmrCluster(consensus::QuorumConfig cfg,
+                     ThreadedSmrClusterOptions options);
+  ~ThreadedSmrCluster();
+
+  ThreadedSmrCluster(const ThreadedSmrCluster&) = delete;
+  ThreadedSmrCluster& operator=(const ThreadedSmrCluster&) = delete;
+
+  /// Fail-stop a process, before or mid-run. Marks it faulty for the
+  /// wait/agreement accounting. Thread-safe.
+  void crash(ProcessId id);
+
+  /// Opens every node's initial slot window (single-threaded seeding),
+  /// then spawns the delivery threads.
+  void start();
+
+  /// Joins all delivery threads. Called by the destructor; after it the
+  /// per-node accessors are safe again.
+  void stop();
+
+  /// Client entry point. Before start(): injected synchronously into every
+  /// node's pending queue (single-threaded). After: broadcast as an
+  /// SMR_REQUEST from `gateway`'s endpoint (thread-safe; a crashed gateway
+  /// drops the request).
+  void submit(const smr::Command& cmd, ProcessId gateway = 0);
+
+  /// Blocks until every non-crashed process applied >= `commands`
+  /// commands, or the timeout elapses. Returns true on success.
+  bool wait_applied(std::uint64_t commands,
+                    std::chrono::milliseconds timeout);
+
+  // --- Thread-safe snapshots -------------------------------------------------
+
+  std::uint64_t applied_commands(ProcessId id) const;
+
+  /// Slots in the order this process applied them (the in-order-apply
+  /// property holds iff this is 1, 2, 3, ...).
+  std::vector<Slot> applied_slots(ProcessId id) const;
+
+  bool is_faulty(ProcessId id) const;
+  std::uint64_t delivered_messages() const { return net_.delivered_count(); }
+  std::uint64_t timers_fired() const { return net_.timers_fired(); }
+
+  // --- Pre-start / post-stop introspection ----------------------------------
+
+  /// The node itself (engine window, catch-up policy, KV store). Only
+  /// while no delivery thread runs.
+  smr::SmrNode& node(ProcessId id) { return *nodes_[id]; }
+  const smr::SmrNode& node(ProcessId id) const { return *nodes_[id]; }
+
+  /// True iff every correct process's KV store digest is identical.
+  /// Meaningful after a successful wait_applied (all correct processes
+  /// applied the same command set); only valid after stop().
+  bool correct_stores_agree() const;
+
+  const consensus::QuorumConfig& config() const { return cfg_; }
+
+ private:
+  consensus::QuorumConfig cfg_;
+  ThreadedSmrClusterOptions options_;
+  net::ThreadedNetwork net_;
+  std::shared_ptr<const crypto::KeyStore> keys_;
+  std::vector<std::unique_ptr<engine::ThreadedHost>> hosts_;
+  std::vector<std::unique_ptr<smr::SmrNode>> nodes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable applied_cv_;
+  std::vector<std::uint64_t> applied_count_;
+  std::vector<std::vector<Slot>> applied_slots_;
+  std::vector<bool> faulty_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace fastbft::runtime

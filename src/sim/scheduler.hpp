@@ -18,21 +18,37 @@ namespace fastbft::sim {
 
 /// Cancellation handle for a scheduled event. Destroying the handle does
 /// NOT cancel the event; call `cancel()` explicitly.
+///
+/// Same-thread contract: a handle carries no synchronization. It must only
+/// be used (cancel() / active()) on the thread that owns the TimerService
+/// that minted it — the simulator thread for sim runs, the process's
+/// delivery thread for wall-clock hosts. Cross-thread cancellation is a
+/// data race by construction; hosts assert the contract at their service
+/// boundary (see net::ThreadedNetwork::arm_timer).
 class TimerHandle {
  public:
   TimerHandle() = default;
 
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (cancelled_ && !*cancelled_) {
+      *cancelled_ = true;
+      // Eager-drop hook: lets the minting service free the timer's slot
+      // immediately instead of waiting for the dead entry to reach its
+      // deadline (engine::TimerWheel, threaded inbox timer queues).
+      if (on_cancel_) on_cancel_();
+    }
+    on_cancel_ = nullptr;
   }
   bool active() const { return cancelled_ && !*cancelled_; }
 
  private:
   friend class Scheduler;
   friend class TimerService;
-  explicit TimerHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
+  explicit TimerHandle(std::shared_ptr<bool> flag,
+                       std::function<void()> on_cancel = nullptr)
+      : cancelled_(std::move(flag)), on_cancel_(std::move(on_cancel)) {}
   std::shared_ptr<bool> cancelled_;
+  std::function<void()> on_cancel_;
 };
 
 /// Anything that can arm one-shot timers. The scheduler itself is the
@@ -50,8 +66,14 @@ class TimerService {
 
  protected:
   /// Lets implementations mint handles around their own cancellation flags.
-  static TimerHandle make_handle(std::shared_ptr<bool> flag) {
-    return TimerHandle(std::move(flag));
+  /// `on_cancel` (optional) runs on the first cancel() — on the service's
+  /// owning thread, per the TimerHandle contract — so the service can drop
+  /// the dead entry eagerly. It must tolerate the entry already having
+  /// fired, and must not touch the service after its destruction (guard
+  /// with a shared liveness flag).
+  static TimerHandle make_handle(std::shared_ptr<bool> flag,
+                                 std::function<void()> on_cancel = nullptr) {
+    return TimerHandle(std::move(flag), std::move(on_cancel));
   }
 };
 

@@ -6,21 +6,39 @@ namespace fastbft::smr {
 
 SmrNode::SmrNode(const runtime::ProcessContext& ctx, SmrOptions options,
                  CommitCallback on_commit)
-    : ctx_(ctx),
-      options_(options),
+    : ectx_{ctx.cfg, ctx.id, ctx.keys, ctx.leader_of,
+            ctx.network != nullptr ? &ctx.network->stats() : nullptr},
+      options_(std::move(options)),
       on_commit_(std::move(on_commit)),
+      owned_host_(std::make_unique<engine::SimHost>(*ctx.scheduler)),
       endpoint_(ctx.network->endpoint(ctx.id)) {
+  init_mux(*owned_host_);
+}
+
+SmrNode::SmrNode(engine::Host& host, engine::EngineContext ectx,
+                 std::unique_ptr<net::Transport> endpoint, SmrOptions options,
+                 CommitCallback on_commit)
+    : ectx_(std::move(ectx)),
+      options_(std::move(options)),
+      on_commit_(std::move(on_commit)),
+      endpoint_(std::move(endpoint)) {
+  init_mux(host);
+}
+
+void SmrNode::init_mux(engine::Host& host) {
   engine::SlotMuxOptions mux_options;
   mux_options.pipeline_depth = options_.pipeline_depth;
   mux_options.max_batch = options_.max_batch;
   mux_options.target_commands = options_.target_commands;
   mux_options.rotate_leaders = options_.rotate_leaders;
-  mux_options.node = options_.node;
+  mux_options.max_reorder_backlog = options_.max_reorder_backlog;
+  mux_options.replica = options_.node.replica;
+  mux_options.sync = options_.node.sync;
   mux_ = std::make_unique<engine::SlotMux>(
-      ctx_, *endpoint_, mux_options,
+      host, ectx_, *endpoint_, mux_options,
       [this](Slot slot, const std::vector<Command>& applied) {
         for (const auto& cmd : applied) store_.apply(cmd);
-        if (on_commit_) on_commit_(ctx_.id, slot, applied);
+        if (on_commit_) on_commit_(ectx_.id, slot, applied);
       });
 }
 
@@ -28,11 +46,15 @@ SmrNode::~SmrNode() = default;
 
 void SmrNode::start() { mux_->start(); }
 
-void SmrNode::submit(const Command& cmd) {
+Bytes SmrNode::encode_request(const Command& cmd) {
   Encoder enc;
   enc.u8(net::tags::kSmrRequest);
   enc.bytes(cmd.to_value().bytes());
-  endpoint_->broadcast(std::move(enc).take());
+  return std::move(enc).take();
+}
+
+void SmrNode::submit(const Command& cmd) {
+  endpoint_->broadcast(encode_request(cmd));
 }
 
 void SmrNode::on_message(ProcessId from, const Bytes& payload) {

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "engine/slot_mux.hpp"
+#include "runtime/cluster.hpp"
 #include "smr/kvstore.hpp"
 
 /// \file smr_node.hpp
@@ -17,11 +18,19 @@
 /// pending-queue/dedup policy, reorder buffering, SMR_DECIDED catch-up —
 /// to engine::SlotMux.
 ///
-/// Wire protocol (unchanged from the pre-engine layout):
+/// The shell is host-agnostic like the engine underneath it: the
+/// ProcessContext constructor runs it on the deterministic simulator
+/// (owning a SimHost), while the Host constructor runs the identical code
+/// over any execution context — runtime::ThreadedSmrCluster uses it with
+/// a wall-clock ThreadedHost per delivery thread.
+///
+/// Wire protocol:
 ///  * Clients broadcast requests to every replica (SMR_REQUEST); whichever
 ///    process leads a slot can propose them. Commands are deduplicated by
 ///    (client_id, sequence) at apply time.
-///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, inner}.
+///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, applied
+///    watermark, inner}; the watermark gossip lets peers prune decided
+///    values everyone has applied.
 ///  * A replica receiving slot-s traffic after deciding s replies with
 ///    SMR_DECIDED{s, value}; f + 1 matching claims let a laggard adopt the
 ///    decision.
@@ -43,6 +52,10 @@ struct SmrOptions {
   /// Rotate the view-1 leader by slot index (see engine::SlotMuxOptions).
   bool rotate_leaders = false;
 
+  /// Reorder-backlog congestion clamp (see engine::SlotMuxOptions;
+  /// 0 = disabled).
+  std::size_t max_reorder_backlog = 0;
+
   /// Per-slot consensus/synchronizer tuning.
   runtime::NodeOptions node;
 };
@@ -53,7 +66,16 @@ class SmrNode final : public runtime::IProcess {
   using CommitCallback = std::function<void(
       ProcessId pid, Slot slot, const std::vector<Command>& commands)>;
 
+  /// Simulator shell: builds a SimHost over the cluster scheduler and a
+  /// SimNetwork endpoint from the process context.
   SmrNode(const runtime::ProcessContext& ctx, SmrOptions options,
+          CommitCallback on_commit);
+
+  /// Host-agnostic shell: runs over any Host + Transport pair. `host` must
+  /// outlive the node; all callbacks (messages, timers) must run on the
+  /// host's single logical thread.
+  SmrNode(engine::Host& host, engine::EngineContext ectx,
+          std::unique_ptr<net::Transport> endpoint, SmrOptions options,
           CommitCallback on_commit);
   ~SmrNode() override;
 
@@ -64,6 +86,11 @@ class SmrNode final : public runtime::IProcess {
   /// (including this one).
   void submit(const Command& cmd);
 
+  /// The SMR_REQUEST wire encoding of `cmd` — the single source of truth
+  /// for the request framing (used by submit() and by drivers that inject
+  /// requests without a wire hop, e.g. pre-start seeding).
+  static Bytes encode_request(const Command& cmd);
+
   const KvStore& store() const { return store_; }
   Slot current_slot() const { return mux_->highest_started(); }
   std::uint64_t applied_commands() const { return mux_->applied_commands(); }
@@ -73,12 +100,14 @@ class SmrNode final : public runtime::IProcess {
   const engine::SlotMux& engine() const { return *mux_; }
 
  private:
+  void init_mux(engine::Host& host);
   void handle_request(const Bytes& payload);
 
-  runtime::ProcessContext ctx_;
+  engine::EngineContext ectx_;
   SmrOptions options_;
   CommitCallback on_commit_;
-  std::unique_ptr<net::SimEndpoint> endpoint_;
+  std::unique_ptr<engine::SimHost> owned_host_;  // sim shell only
+  std::unique_ptr<net::Transport> endpoint_;
   std::unique_ptr<engine::SlotMux> mux_;
   KvStore store_;
 };

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "engine/catchup.hpp"
+#include "engine/host.hpp"
+#include "engine/timer_wheel.hpp"
+
+/// Engine policy objects in isolation: the host-agnostic timer wheel
+/// (eager cancellation) and the catch-up policy's watermark-based
+/// retention trimming.
+
+namespace fastbft::engine {
+namespace {
+
+// --- TimerWheel over the Host seam ------------------------------------------------
+
+TEST(TimerWheelTest, FiresInDeadlineOrderThroughSimHost) {
+  sim::Scheduler sched;
+  SimHost host(sched);
+  TimerWheel wheel(host);
+  std::vector<int> order;
+  wheel.schedule_after(30, [&] { order.push_back(3); });
+  wheel.schedule_after(10, [&] { order.push_back(1); });
+  wheel.schedule_after(20, [&] { order.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 3u);
+  sched.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelDropsEntryEagerly) {
+  sim::Scheduler sched;
+  SimHost host(sched);
+  TimerWheel wheel(host);
+  int fired = 0;
+  wheel.schedule_after(10, [&] { fired |= 1; });
+  auto far = wheel.schedule_after(1'000'000, [&] { fired |= 2; });
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  // Eager drop: the far-deadline entry leaves the wheel at cancel() time
+  // instead of pinning a slot until its deadline.
+  far.cancel();
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(wheel.cancelled_dropped(), 1u);
+  EXPECT_FALSE(far.active());
+
+  sched.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+
+  // Cancelling after the wheel already dropped the entry is a no-op.
+  far.cancel();
+  EXPECT_EQ(wheel.cancelled_dropped(), 1u);
+}
+
+TEST(TimerWheelTest, CancellingEarliestEntryDoesNotLoseLaterOnes) {
+  sim::Scheduler sched;
+  SimHost host(sched);
+  TimerWheel wheel(host);
+  bool late_fired = false;
+  auto early = wheel.schedule_after(10, [] { FAIL() << "cancelled timer"; });
+  wheel.schedule_after(40, [&] { late_fired = true; });
+  early.cancel();
+  EXPECT_EQ(wheel.pending(), 1u);
+  // The wheel's host event was armed for t=10; it fires, finds nothing
+  // due, and re-arms for the surviving deadline.
+  sched.run_until(100);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(TimerWheelTest, HandleOutlivingWheelIsSafeToCancel) {
+  sim::Scheduler sched;
+  sim::TimerHandle handle;
+  {
+    SimHost host(sched);
+    TimerWheel wheel(host);
+    handle = wheel.schedule_after(50, [] { FAIL() << "wheel destroyed"; });
+  }
+  handle.cancel();  // must not touch the destroyed wheel
+  sched.run_to_completion();
+}
+
+TEST(TimerWheelTest, TimerArmedWhileFiringRuns) {
+  sim::Scheduler sched;
+  SimHost host(sched);
+  TimerWheel wheel(host);
+  bool rearmed_fired = false;
+  wheel.schedule_after(10, [&] {
+    wheel.schedule_after(10, [&] { rearmed_fired = true; });
+  });
+  sched.run_until(100);
+  EXPECT_TRUE(rearmed_fired);
+}
+
+// --- CatchUpPolicy watermark trimming --------------------------------------------
+
+Value val(const std::string& s) { return Value::of_string(s); }
+
+TEST(CatchUpPolicyTest, WatermarkFloorPrunesDecidedValues) {
+  CatchUpPolicy policy(/*threshold=*/2, /*cluster_size=*/4);
+  for (Slot s = 1; s <= 6; ++s) {
+    policy.record_decided(s, val("v" + std::to_string(s)));
+  }
+  EXPECT_EQ(policy.decided_count(), 6u);
+  EXPECT_EQ(policy.prune_floor(), 1u);
+
+  // Retention is pinned by the slowest process: three fast peers do not
+  // move the floor while p3 still reports nothing applied.
+  policy.note_watermark(0, 5);
+  policy.note_watermark(1, 5);
+  policy.note_watermark(2, 7);
+  EXPECT_EQ(policy.decided_count(), 6u);
+
+  policy.note_watermark(3, 4);
+  EXPECT_EQ(policy.prune_floor(), 4u);
+  EXPECT_EQ(policy.decided_count(), 3u);  // slots 4, 5, 6 retained
+  EXPECT_EQ(policy.pruned_count(), 3u);
+  EXPECT_EQ(policy.decided(3), nullptr);
+  ASSERT_NE(policy.decided(4), nullptr);
+
+  // Pruned slots can no longer be served; retained ones can.
+  EXPECT_FALSE(policy.reply_for(2, 1).has_value());
+  EXPECT_TRUE(policy.reply_for(4, 1).has_value());
+}
+
+TEST(CatchUpPolicyTest, StaleAndOutOfRangeGossipIsIgnored) {
+  CatchUpPolicy policy(2, 3);
+  policy.record_decided(1, val("a"));
+  policy.record_decided(2, val("b"));
+  for (ProcessId p = 0; p < 3; ++p) policy.note_watermark(p, 3);
+  EXPECT_EQ(policy.prune_floor(), 3u);
+  EXPECT_EQ(policy.decided_count(), 0u);
+
+  // A reordered old message can never regress the floor.
+  policy.note_watermark(1, 2);
+  EXPECT_EQ(policy.prune_floor(), 3u);
+
+  // Gossip from an id outside the cluster is dropped.
+  policy.note_watermark(99, 100);
+  EXPECT_EQ(policy.prune_floor(), 3u);
+}
+
+TEST(CatchUpPolicyTest, ClaimStateBelowFloorIsDroppedAndStaysOut) {
+  CatchUpPolicy policy(/*threshold=*/2, /*cluster_size=*/4);
+  // One claim parked for slot 1 (below threshold).
+  EXPECT_FALSE(policy.add_claim(1, 2, val("x")).has_value());
+  for (ProcessId p = 0; p < 4; ++p) policy.note_watermark(p, 2);
+  // The parked claim set was trimmed with the floor, and new claims for
+  // pruned slots are rejected outright — even a threshold's worth of
+  // Byzantine claimants can neither adopt nor re-park state below it.
+  EXPECT_FALSE(policy.add_claim(1, 0, val("x")).has_value());
+  EXPECT_FALSE(policy.add_claim(1, 3, val("x")).has_value());
+  EXPECT_FALSE(policy.ready_claim(1).has_value());
+}
+
+}  // namespace
+}  // namespace fastbft::engine

@@ -374,6 +374,92 @@ TEST(SmrPipelined, FaultyLeaderDoesNotStallLaterSlots) {
   }
 }
 
+TEST(SmrPipelined, RetiredSlotStateIsFreed) {
+  // GC audit: after a pipelined run finishes, every per-slot structure
+  // must be empty — no live instances, no parked decisions, no claimed
+  // commands, no timers — and the catch-up policy must have pruned
+  // decided values below the gossiped watermark floor instead of
+  // retaining all of them.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 2;
+  smr_options.target_commands = 40;
+  smr_options.pipeline_depth = 4;
+  SmrCluster h(cfg, smr_options);
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (std::uint64_t i = 1; i <= 40; ++i) {
+      h.nodes[0]->submit(Command::put("k" + std::to_string(i), "v", 1, i));
+    }
+  });
+  h.cluster->run_until(2'000'000);
+
+  for (ProcessId id = 0; id < 4; ++id) {
+    const auto& engine = h.nodes[id]->engine();
+    ASSERT_EQ(h.nodes[id]->applied_commands(), 40u) << "p" << id;
+    EXPECT_EQ(engine.inflight_slots(), 0u) << "p" << id;
+    EXPECT_EQ(engine.reorder_pending(), 0u) << "p" << id;
+    EXPECT_EQ(engine.pending().claimed_count(), 0u) << "p" << id;
+    EXPECT_EQ(engine.timers().pending(), 0u)
+        << "p" << id << ": stopped synchronizers must drop wheel entries";
+    EXPECT_GT(engine.catchup().pruned_count(), 0u) << "p" << id;
+    EXPECT_LT(engine.catchup().decided_count(),
+              static_cast<std::size_t>(engine.highest_started()))
+        << "p" << id << " retains every decided value";
+  }
+}
+
+TEST(SmrPipelined, ReorderBacklogClampStopsOpeningSlots) {
+  // Two stalls released at different times force the state the clamp
+  // guards against: apply progress resumes (slot 1 releases) while a
+  // later stall (slot 6) still holds decisions in the reorder buffer.
+  // With max_reorder_backlog = 1 the engine must then refuse to open new
+  // slots instead of deciding even further ahead.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions smr_options;
+  smr_options.max_batch = 1;
+  smr_options.target_commands = 20;
+  smr_options.pipeline_depth = 8;
+  smr_options.max_reorder_backlog = 1;
+  SmrCluster h(cfg, smr_options, /*seed=*/2);
+
+  auto wrapped_slot = [](const net::Envelope& env) -> std::optional<Slot> {
+    if (env.payload.empty() || env.payload[0] != net::tags::kSmrWrapped) {
+      return std::nullopt;
+    }
+    Decoder dec(env.payload);
+    dec.u8();
+    Slot slot = dec.u64();
+    if (!dec.ok()) return std::nullopt;
+    return slot;
+  };
+  h.cluster->set_network_script(
+      [wrapped_slot](const net::Envelope& env,
+                      TimePoint now) -> std::optional<TimePoint> {
+        auto slot = wrapped_slot(env);
+        if (slot == 1) return std::max<TimePoint>(now + 100, 20'000);
+        if (slot == 6) return std::max<TimePoint>(now + 100, 60'000);
+        return std::nullopt;
+      });
+
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+      h.nodes[1]->submit(Command::put("k" + std::to_string(i), "v", 6, i));
+    }
+  });
+  h.cluster->run_until(2'000'000);
+
+  for (ProcessId id = 0; id < 4; ++id) {
+    EXPECT_EQ(h.nodes[id]->applied_commands(), 20u) << "p" << id;
+    EXPECT_GT(h.nodes[id]->engine().clamp_stalls(), 0u)
+        << "p" << id << ": the backlog clamp never engaged";
+    EXPECT_EQ(h.nodes[id]->store().state_digest(),
+              h.nodes[0]->store().state_digest())
+        << "p" << id;
+  }
+}
+
 // --- Catch-up via SMR_DECIDED state transfer -------------------------------------
 
 TEST(SmrCatchUp, LaggardAdoptsDecidedSlots) {
