@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cert_size.dir/bench/bench_cert_size.cpp.o"
+  "CMakeFiles/bench_cert_size.dir/bench/bench_cert_size.cpp.o.d"
+  "CMakeFiles/bench_cert_size.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_cert_size.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_cert_size"
+  "bench/bench_cert_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cert_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

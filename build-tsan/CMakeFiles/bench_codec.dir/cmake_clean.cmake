@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec.dir/bench/bench_codec.cpp.o"
+  "CMakeFiles/bench_codec.dir/bench/bench_codec.cpp.o.d"
+  "CMakeFiles/bench_codec.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_codec.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_codec"
+  "bench/bench_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

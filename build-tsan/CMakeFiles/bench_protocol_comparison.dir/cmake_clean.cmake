@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_comparison.dir/bench/bench_protocol_comparison.cpp.o"
+  "CMakeFiles/bench_protocol_comparison.dir/bench/bench_protocol_comparison.cpp.o.d"
+  "CMakeFiles/bench_protocol_comparison.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_protocol_comparison.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_protocol_comparison"
+  "bench/bench_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resilience_table.dir/bench/bench_resilience_table.cpp.o"
+  "CMakeFiles/bench_resilience_table.dir/bench/bench_resilience_table.cpp.o.d"
+  "CMakeFiles/bench_resilience_table.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_resilience_table.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_resilience_table"
+  "bench/bench_resilience_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

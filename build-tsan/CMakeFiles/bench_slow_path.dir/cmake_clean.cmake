@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slow_path.dir/bench/bench_slow_path.cpp.o"
+  "CMakeFiles/bench_slow_path.dir/bench/bench_slow_path.cpp.o.d"
+  "CMakeFiles/bench_slow_path.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_slow_path.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_slow_path"
+  "bench/bench_slow_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slow_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smr_throughput.dir/bench/bench_smr_throughput.cpp.o"
+  "CMakeFiles/bench_smr_throughput.dir/bench/bench_smr_throughput.cpp.o.d"
+  "CMakeFiles/bench_smr_throughput.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_smr_throughput.dir/bench/bench_util.cpp.o.d"
+  "bench/bench_smr_throughput"
+  "bench/bench_smr_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smr_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

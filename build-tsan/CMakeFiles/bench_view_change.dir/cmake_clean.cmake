@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_change.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/bench_view_change.dir/bench/bench_util.cpp.o.d"
+  "CMakeFiles/bench_view_change.dir/bench/bench_view_change.cpp.o"
+  "CMakeFiles/bench_view_change.dir/bench/bench_view_change.cpp.o.d"
+  "bench/bench_view_change"
+  "bench/bench_view_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/behaviors.cpp" "CMakeFiles/fastbft.dir/src/adversary/behaviors.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/adversary/behaviors.cpp.o.d"
+  "/root/repo/src/adversary/lower_bound.cpp" "CMakeFiles/fastbft.dir/src/adversary/lower_bound.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/adversary/lower_bound.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "CMakeFiles/fastbft.dir/src/common/bytes.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/common/bytes.cpp.o.d"
+  "/root/repo/src/common/codec.cpp" "CMakeFiles/fastbft.dir/src/common/codec.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/common/codec.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/fastbft.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "CMakeFiles/fastbft.dir/src/common/value.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/common/value.cpp.o.d"
+  "/root/repo/src/consensus/config.cpp" "CMakeFiles/fastbft.dir/src/consensus/config.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/consensus/config.cpp.o.d"
+  "/root/repo/src/consensus/messages.cpp" "CMakeFiles/fastbft.dir/src/consensus/messages.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/consensus/messages.cpp.o.d"
+  "/root/repo/src/consensus/replica.cpp" "CMakeFiles/fastbft.dir/src/consensus/replica.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/consensus/replica.cpp.o.d"
+  "/root/repo/src/consensus/selection.cpp" "CMakeFiles/fastbft.dir/src/consensus/selection.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/consensus/selection.cpp.o.d"
+  "/root/repo/src/consensus/types.cpp" "CMakeFiles/fastbft.dir/src/consensus/types.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/consensus/types.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/fastbft.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/fastbft.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "CMakeFiles/fastbft.dir/src/crypto/signer.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/crypto/signer.cpp.o.d"
+  "/root/repo/src/engine/catchup.cpp" "CMakeFiles/fastbft.dir/src/engine/catchup.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/engine/catchup.cpp.o.d"
+  "/root/repo/src/engine/pending_queue.cpp" "CMakeFiles/fastbft.dir/src/engine/pending_queue.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/engine/pending_queue.cpp.o.d"
+  "/root/repo/src/engine/slot_mux.cpp" "CMakeFiles/fastbft.dir/src/engine/slot_mux.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/engine/slot_mux.cpp.o.d"
+  "/root/repo/src/engine/timer_wheel.cpp" "CMakeFiles/fastbft.dir/src/engine/timer_wheel.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/engine/timer_wheel.cpp.o.d"
+  "/root/repo/src/fab/fab.cpp" "CMakeFiles/fastbft.dir/src/fab/fab.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/fab/fab.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "CMakeFiles/fastbft.dir/src/net/sim_network.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/net/sim_network.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "CMakeFiles/fastbft.dir/src/net/stats.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/net/stats.cpp.o.d"
+  "/root/repo/src/net/threaded_network.cpp" "CMakeFiles/fastbft.dir/src/net/threaded_network.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/net/threaded_network.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "CMakeFiles/fastbft.dir/src/net/transport.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/net/transport.cpp.o.d"
+  "/root/repo/src/pbft/pbft.cpp" "CMakeFiles/fastbft.dir/src/pbft/pbft.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/pbft/pbft.cpp.o.d"
+  "/root/repo/src/roles/separated.cpp" "CMakeFiles/fastbft.dir/src/roles/separated.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/roles/separated.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "CMakeFiles/fastbft.dir/src/runtime/cluster.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/node.cpp" "CMakeFiles/fastbft.dir/src/runtime/node.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/runtime/node.cpp.o.d"
+  "/root/repo/src/runtime/threaded_cluster.cpp" "CMakeFiles/fastbft.dir/src/runtime/threaded_cluster.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/runtime/threaded_cluster.cpp.o.d"
+  "/root/repo/src/runtime/threaded_smr_cluster.cpp" "CMakeFiles/fastbft.dir/src/runtime/threaded_smr_cluster.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/runtime/threaded_smr_cluster.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "CMakeFiles/fastbft.dir/src/sim/random.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/fastbft.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/smr/batch.cpp" "CMakeFiles/fastbft.dir/src/smr/batch.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/smr/batch.cpp.o.d"
+  "/root/repo/src/smr/client.cpp" "CMakeFiles/fastbft.dir/src/smr/client.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/smr/client.cpp.o.d"
+  "/root/repo/src/smr/command.cpp" "CMakeFiles/fastbft.dir/src/smr/command.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/smr/command.cpp.o.d"
+  "/root/repo/src/smr/kvstore.cpp" "CMakeFiles/fastbft.dir/src/smr/kvstore.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/smr/kvstore.cpp.o.d"
+  "/root/repo/src/smr/smr_node.cpp" "CMakeFiles/fastbft.dir/src/smr/smr_node.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/smr/smr_node.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/fastbft.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/viewsync/synchronizer.cpp" "CMakeFiles/fastbft.dir/src/viewsync/synchronizer.cpp.o" "gcc" "CMakeFiles/fastbft.dir/src/viewsync/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_replication.dir/examples/kv_replication.cpp.o"
+  "CMakeFiles/kv_replication.dir/examples/kv_replication.cpp.o.d"
+  "examples/kv_replication"
+  "examples/kv_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

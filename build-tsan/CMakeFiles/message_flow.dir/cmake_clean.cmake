@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_flow.dir/examples/message_flow.cpp.o"
+  "CMakeFiles/message_flow.dir/examples/message_flow.cpp.o.d"
+  "examples/message_flow"
+  "examples/message_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

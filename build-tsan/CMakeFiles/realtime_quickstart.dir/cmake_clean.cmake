@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_quickstart.dir/examples/realtime_quickstart.cpp.o"
+  "CMakeFiles/realtime_quickstart.dir/examples/realtime_quickstart.cpp.o.d"
+  "examples/realtime_quickstart"
+  "examples/realtime_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

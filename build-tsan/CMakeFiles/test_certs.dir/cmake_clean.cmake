@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certs.dir/tests/test_certs.cpp.o"
+  "CMakeFiles/test_certs.dir/tests/test_certs.cpp.o.d"
+  "tests/test_certs"
+  "tests/test_certs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

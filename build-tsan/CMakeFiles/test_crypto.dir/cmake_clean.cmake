@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/tests/test_crypto.cpp.o"
+  "CMakeFiles/test_crypto.dir/tests/test_crypto.cpp.o.d"
+  "tests/test_crypto"
+  "tests/test_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

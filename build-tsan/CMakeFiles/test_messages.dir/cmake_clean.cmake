@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_messages.dir/tests/test_messages.cpp.o"
+  "CMakeFiles/test_messages.dir/tests/test_messages.cpp.o.d"
+  "tests/test_messages"
+  "tests/test_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_check.dir/tests/test_model_check.cpp.o"
+  "CMakeFiles/test_model_check.dir/tests/test_model_check.cpp.o.d"
+  "tests/test_model_check"
+  "tests/test_model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica.dir/tests/test_replica.cpp.o"
+  "CMakeFiles/test_replica.dir/tests/test_replica.cpp.o.d"
+  "tests/test_replica"
+  "tests/test_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

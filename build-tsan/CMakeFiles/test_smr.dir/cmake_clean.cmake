@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smr.dir/tests/test_smr.cpp.o"
+  "CMakeFiles/test_smr.dir/tests/test_smr.cpp.o.d"
+  "tests/test_smr"
+  "tests/test_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded.dir/tests/test_threaded.cpp.o"
+  "CMakeFiles/test_threaded.dir/tests/test_threaded.cpp.o.d"
+  "tests/test_threaded"
+  "tests/test_threaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded_smr.dir/tests/test_threaded_smr.cpp.o"
+  "CMakeFiles/test_threaded_smr.dir/tests/test_threaded_smr.cpp.o.d"
+  "tests/test_threaded_smr"
+  "tests/test_threaded_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viewsync.dir/tests/test_viewsync.cpp.o"
+  "CMakeFiles/test_viewsync.dir/tests/test_viewsync.cpp.o.d"
+  "tests/test_viewsync"
+  "tests/test_viewsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viewsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
