@@ -1,5 +1,7 @@
 #include "common/bytes.hpp"
 
+#include <algorithm>
+
 namespace fastbft {
 
 Bytes to_bytes(std::string_view s) {
@@ -51,6 +53,22 @@ bool bytes_equal(const Bytes& a, const Bytes& b) {
   unsigned diff = 0;
   for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
   return diff == 0;
+}
+
+std::vector<Bytes> split_chunks(const Bytes& data, std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::vector<Bytes> chunks;
+  if (data.empty()) {
+    chunks.emplace_back();
+    return chunks;
+  }
+  chunks.reserve((data.size() + chunk_size - 1) / chunk_size);
+  for (std::size_t offset = 0; offset < data.size(); offset += chunk_size) {
+    std::size_t end = std::min(offset + chunk_size, data.size());
+    chunks.emplace_back(data.begin() + static_cast<long>(offset),
+                        data.begin() + static_cast<long>(end));
+  }
+  return chunks;
 }
 
 }  // namespace fastbft

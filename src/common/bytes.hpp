@@ -31,4 +31,10 @@ Bytes from_hex(std::string_view hex);
 /// compared with this to keep the idiom explicit even in simulation.
 bool bytes_equal(const Bytes& a, const Bytes& b);
 
+/// Splits `data` into consecutive chunks of at most `chunk_size` bytes
+/// (the last may be shorter). Empty input yields one empty chunk so every
+/// payload, including a zero-length one, has a well-defined chunk count.
+/// Used by the snapshot state-transfer codec.
+std::vector<Bytes> split_chunks(const Bytes& data, std::size_t chunk_size);
+
 }  // namespace fastbft

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <iterator>
+#include <string>
 
 #include "common/codec.hpp"
+#include "common/logging.hpp"
 #include "net/tags.hpp"
 
 namespace fastbft::engine {
+
+namespace {
+
+/// Byte budget for one transferred snapshot: the requester rejects chunk
+/// geometries claiming more, bounding what a Byzantine flooder can pin;
+/// the holder refuses (loudly) to serve a snapshot that exceeds it, so an
+/// over-budget state surfaces as a logged config error instead of
+/// responses every requester silently drops. Both sides derive their
+/// chunk counts from the same cluster-uniform snapshot_chunk_bytes.
+constexpr std::uint64_t kMaxSnapshotBytes = 64ull << 20;
+
+}  // namespace
 
 void CatchUpPolicy::record_decided(Slot slot, Value value) {
   decided_.emplace(slot, std::move(value));
@@ -23,9 +37,9 @@ const Value* CatchUpPolicy::decided(Slot slot) const {
 std::optional<Value> CatchUpPolicy::add_claim(Slot slot, ProcessId from,
                                               const Value& value) {
   // Slots below the floor are applied everywhere (our own watermark is
-  // part of the minimum, so that includes us): claims for them can only
-  // be Byzantine flooding, and parking them would re-grow exactly the
-  // state the watermark trim freed.
+  // part of the minimum, so that includes us) or superseded by a snapshot:
+  // claims for them can only be Byzantine flooding, and parking them would
+  // re-grow exactly the state the floor freed.
   if (slot < floor_) return std::nullopt;
   if (decided_.contains(slot)) return std::nullopt;
   // One counted claim per (slot, sender): honest replicas reply at most
@@ -54,13 +68,18 @@ void CatchUpPolicy::note_watermark(ProcessId peer, Slot applied_below) {
 
   Slot min = watermarks_[0];
   for (Slot w : watermarks_) min = std::min(min, w);
-  if (min <= floor_) return;
-  floor_ = min;
-
-  // Everything strictly below the floor is applied on every process (a
+  // Everything strictly below the minimum is applied on every process (a
   // Byzantine peer over-reporting only removes itself from the minimum;
-  // honest watermarks keep the floor safe). Prune retained values, any
-  // parked claim state and the per-peer reply dedup entries.
+  // honest watermarks keep the floor safe).
+  raise_floor(min);
+}
+
+void CatchUpPolicy::raise_floor(Slot candidate) {
+  if (candidate <= floor_) return;
+  floor_ = candidate;
+
+  // Prune retained values, any parked claim state and the per-peer reply
+  // dedup entries strictly below the new floor.
   auto end = decided_.lower_bound(floor_);
   pruned_ += static_cast<std::uint64_t>(std::distance(decided_.begin(), end));
   decided_.erase(decided_.begin(), end);
@@ -80,6 +99,162 @@ std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to) {
   enc.u64(slot);
   value->encode(enc);
   return std::move(enc).take();
+}
+
+// --- Snapshots ---------------------------------------------------------------
+
+void CatchUpPolicy::note_snapshot(Slot applied_below, Bytes body) {
+  crypto::Digest digest = crypto::sha256(body);
+  note_snapshot(applied_below, std::move(body), digest);
+}
+
+void CatchUpPolicy::note_snapshot(Slot applied_below, Bytes body,
+                                  const crypto::Digest& digest) {
+  if (!snap_body_.empty() && applied_below <= snap_below_) return;  // stale
+  snap_below_ = applied_below;
+  snap_body_ = std::move(body);
+  snap_digest_ = digest;
+  // Anything we were fetching at or below this coverage is now pointless.
+  for (auto it = snap_fetch_.begin();
+       it != snap_fetch_.end() && it->first.first <= snap_below_;) {
+    it = snap_fetch_.erase(it);
+  }
+  // The snapshot supersedes per-slot retention below its coverage even
+  // while a crashed peer's watermark is frozen lower: that is exactly the
+  // retention unpinning this subsystem exists for.
+  raise_floor(applied_below);
+}
+
+void CatchUpPolicy::note_peer_snapshot_floor(ProcessId peer, Slot floor) {
+  if (peer >= peer_snap_floors_.size()) return;
+  peer_snap_floors_[peer] = std::max(peer_snap_floors_[peer], floor);
+}
+
+bool CatchUpPolicy::should_request_snapshot(ProcessId peer, Slot peer_floor,
+                                            Slot next_apply) {
+  if (peer_floor <= next_apply) return false;  // per-slot catch-up suffices
+  auto [it, inserted] = snap_requested_.emplace(peer, peer_floor);
+  if (!inserted) {
+    if (it->second >= peer_floor) return false;  // already asked for this one
+    it->second = peer_floor;
+  }
+  return true;
+}
+
+std::vector<Bytes> CatchUpPolicy::snapshot_chunks() {
+  if (snap_body_.empty()) return {};
+  if (snap_body_.size() > kMaxSnapshotBytes) {
+    // Requesters reject anything over the transfer budget, so serving it
+    // would only produce silently-dropped responses. Surface the config
+    // error instead (state too large for snapshot_chunk_bytes transfers).
+    log_error("catchup",
+              "snapshot at slot " + std::to_string(snap_below_) +
+                  " exceeds the transfer budget (" +
+                  std::to_string(snap_body_.size()) + " bytes); not served");
+    return {};
+  }
+  // Every well-formed request earns one full chunk sequence. Holder-side
+  // dedup would be unsound: a requester that crashes mid-transfer loses
+  // its reassembly buffers and must be able to ask the SAME holder for
+  // the SAME snapshot again, or it could never recover while no newer
+  // snapshot forms. Honest requesters self-dedup (should_request_snapshot
+  // asks once per peer + floor per incarnation); a Byzantine spammer buys
+  // one bounded transfer per request message and no holder-side memory.
+  ++snapshots_served_;
+
+  std::vector<Bytes> chunks = split_chunks(snap_body_, chunk_bytes_);
+  std::vector<Bytes> messages;
+  messages.reserve(chunks.size());
+  for (std::uint32_t index = 0; index < chunks.size(); ++index) {
+    Encoder enc;
+    enc.u8(net::tags::kSmrSnapResponse);
+    enc.u64(snap_below_);
+    enc.bytes(Bytes(snap_digest_.begin(), snap_digest_.end()));
+    enc.u32(index);
+    enc.u32(static_cast<std::uint32_t>(chunks.size()));
+    enc.bytes(chunks[index]);
+    messages.push_back(std::move(enc).take());
+  }
+  return messages;
+}
+
+std::optional<CatchUpPolicy::VerifiedSnapshot>
+CatchUpPolicy::add_snapshot_chunk(ProcessId from, Slot applied_below,
+                                  const crypto::Digest& digest,
+                                  std::uint32_t index, std::uint32_t count,
+                                  Bytes chunk, Slot next_apply) {
+  if (applied_below <= next_apply) return std::nullopt;  // nothing to gain
+  // Budget the claimed geometry with one chunk of ceil-rounding slack: an
+  // honest holder of a body of up to kMaxSnapshotBytes produces
+  // count = ceil(size / chunk_bytes), whose (count - 1) full chunks are
+  // strictly within budget even when chunk_bytes does not divide it.
+  if (count == 0 || index >= count ||
+      static_cast<std::uint64_t>(count - 1) * chunk_bytes_ >=
+          kMaxSnapshotBytes) {
+    return std::nullopt;
+  }
+  // Oversized chunks would let a flooder pin far more than count x
+  // chunk_bytes despite the count budget; honest holders never exceed the
+  // (cluster-uniform) configured chunk size.
+  if (chunk.size() > chunk_bytes_) return std::nullopt;
+
+  // One in-flight reassembly per sender: a sender switching to a different
+  // (applied_below, digest) abandons its previous one, so fetch memory is
+  // bounded by cluster size x snapshot size no matter what Byzantine
+  // senders announce.
+  std::pair<Slot, crypto::Digest> key{applied_below, digest};
+  for (auto it = snap_fetch_.begin(); it != snap_fetch_.end();) {
+    if (it->first != key && it->second.erase(from) > 0 &&
+        it->second.empty()) {
+      it = snap_fetch_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  SnapFetch& fetch = snap_fetch_[key][from];
+  if (fetch.failed) return std::nullopt;  // already delivered a bad body
+  if (fetch.chunks.empty()) {
+    fetch.count = count;
+  } else if (fetch.count != count) {
+    return std::nullopt;  // sender contradicts itself: Byzantine, ignore
+  }
+  fetch.chunks[index] = std::move(chunk);
+
+  // Install requires f + 1 distinct senders vouching for this
+  // (applied_below, digest): at least one of them is correct, so the body
+  // is a legitimate snapshot — the digest alone cannot prove that. (A
+  // voucher that later delivers garbage still counts: a fake digest can
+  // never attract an honest voucher, so f Byzantine announcers alone
+  // stay below the threshold.)
+  auto& senders = snap_fetch_[key];
+  if (senders.size() < threshold_) return std::nullopt;
+
+  for (auto& [sender, partial] : senders) {
+    if (partial.failed || partial.chunks.size() != partial.count) continue;
+    Bytes body;
+    for (const auto& [i, piece] : partial.chunks) {
+      (void)i;
+      body.insert(body.end(), piece.begin(), piece.end());
+    }
+    std::optional<smr::Snapshot> snap;
+    if (crypto::sha256(body) == digest) {
+      snap = smr::Snapshot::decode(body);
+      if (snap && snap->applied_below != applied_below) snap.reset();
+    }
+    if (!snap) {
+      // Each complete body is hashed at most once: flag the sender and
+      // free its chunks, or a flooder could make us re-hash its corrupt
+      // body on every later chunk arrival.
+      partial.failed = true;
+      partial.chunks.clear();
+      continue;
+    }
+    snap_fetch_.clear();
+    snap_requested_.clear();
+    return VerifiedSnapshot{std::move(*snap), std::move(body), digest};
+  }
+  return std::nullopt;
 }
 
 }  // namespace fastbft::engine

@@ -7,6 +7,8 @@
 
 #include "common/types.hpp"
 #include "common/value.hpp"
+#include "crypto/sha256.hpp"
+#include "smr/snapshot.hpp"
 
 /// \file catchup.hpp
 /// Decided-slot state-transfer policy. Fast-path acks are not transferable
@@ -17,14 +19,35 @@
 /// peer). Claim state is garbage-collected the moment a slot's decision is
 /// known locally.
 ///
-/// Retention is bounded by watermark trimming: every SMR_WRAPPED message
-/// gossips the sender's applied watermark (the lowest slot it has NOT yet
-/// applied), and decided values strictly below the minimum watermark over
-/// the whole cluster are pruned — nobody can still need them, because
-/// everyone already applied them. A crashed (or Byzantine, lying-low) peer
-/// freezes its watermark and therefore pins retention from its crash point
-/// on; unpinning that needs full KV snapshot transfer, which stays future
-/// work (ROADMAP).
+/// Retention is bounded two ways:
+///
+///  * Watermark trimming: every SMR_WRAPPED message gossips the sender's
+///    applied watermark (the lowest slot it has NOT yet applied), and
+///    decided values strictly below the minimum watermark over the whole
+///    cluster are pruned — nobody can still need them, because everyone
+///    already applied them.
+///  * Snapshot floors: a crashed (or Byzantine, lying-low) peer freezes its
+///    watermark and would pin retention from its crash point on. Once the
+///    engine hands this policy a state snapshot covering every slot <
+///    applied_below (note_snapshot), the prune floor rises to applied_below
+///    regardless of stale watermarks: anyone who still needs those slots
+///    recovers through full-state transfer instead of per-slot replay.
+///
+/// Snapshot transfer protocol (SNAPSHOT_REQUEST / SNAPSHOT_RESPONSE):
+/// peers gossip their snapshot floor alongside the watermark; a replica
+/// whose next-apply slot sits below a peer's snapshot floor knows its
+/// needed slots may be pruned there and requests the peer's snapshot
+/// (once per (peer, floor) — should_request_snapshot dedups). The holder
+/// answers every well-formed request with the serialized smr::Snapshot
+/// split into chunks: holder-side dedup would strand a requester that
+/// crashed mid-transfer and must re-fetch after rejoining. The requester
+/// reassembles per sender and installs only when f + 1 distinct senders
+/// vouch for the same (applied_below, digest) AND a fully reassembled body
+/// hashes to that digest: the digest check defeats corrupted bodies, the
+/// f + 1 rule defeats a fabricated-but-self-consistent snapshot (at least
+/// one voucher is correct). Each sender funds at most one in-flight
+/// (applied_below, digest) reassembly, so fetch memory is bounded by the
+/// cluster size times the snapshot size.
 ///
 /// Flood resistance: only a sender's first claim per slot counts (honest
 /// replicas send exactly one reply per (slot, peer), so later ones are
@@ -36,10 +59,15 @@ namespace fastbft::engine {
 
 class CatchUpPolicy {
  public:
-  /// `threshold` is f + 1: the claim count that proves a decision.
-  /// `cluster_size` is n: watermarks are tracked for every process.
-  CatchUpPolicy(std::uint32_t threshold, std::uint32_t cluster_size)
-      : threshold_(threshold), watermarks_(cluster_size, 1) {}
+  /// `threshold` is f + 1: the claim/voucher count that proves a decision
+  /// or a snapshot. `cluster_size` is n: watermarks are tracked for every
+  /// process. `snapshot_chunk_bytes` bounds one SNAPSHOT_RESPONSE payload.
+  CatchUpPolicy(std::uint32_t threshold, std::uint32_t cluster_size,
+                std::uint32_t snapshot_chunk_bytes = 1024)
+      : threshold_(threshold),
+        chunk_bytes_(snapshot_chunk_bytes),
+        watermarks_(cluster_size, 1),
+        peer_snap_floors_(cluster_size, 1) {}
 
   /// Records a locally-known decision and drops the slot's claim state.
   void record_decided(Slot slot, Value value);
@@ -69,15 +97,81 @@ class CatchUpPolicy {
   /// it are pruned.
   void note_watermark(ProcessId peer, Slot applied_below);
 
-  /// Lowest watermark over the whole cluster: slots below this are applied
-  /// everywhere and have been pruned.
+  /// Lowest slot whose decided value may still be retained: the maximum of
+  /// the cluster-wide watermark minimum and the local snapshot floor.
+  /// Slots below it have been pruned.
   Slot prune_floor() const { return floor_; }
 
   std::size_t decided_count() const { return decided_.size(); }
   std::uint64_t pruned_count() const { return pruned_; }
 
+  // --- Snapshots (full-state transfer) ---------------------------------------
+
+  /// Adopts `body` — the canonical smr::Snapshot encoding covering every
+  /// slot < applied_below — as the latest local snapshot, whether freshly
+  /// taken or just installed. Unpins retention: the prune floor rises to
+  /// applied_below even while crashed peers' watermarks lag behind. The
+  /// digest overload skips re-hashing when the caller already verified it.
+  void note_snapshot(Slot applied_below, Bytes body);
+  void note_snapshot(Slot applied_below, Bytes body,
+                     const crypto::Digest& digest);
+
+  /// applied_below of the latest snapshot (1 = none yet). Gossiped in
+  /// SMR_WRAPPED so laggards know when per-slot catch-up cannot work.
+  Slot snapshot_floor() const { return snap_below_; }
+
+  /// Records the snapshot floor `peer` advertised in wrapped gossip
+  /// (monotonic, like watermarks). Requests are sent only to peers that
+  /// actually advertised a useful floor, so the request dedup can never
+  /// suppress a peer for a snapshot it was not yet known to hold.
+  void note_peer_snapshot_floor(ProcessId peer, Slot floor);
+  Slot peer_snapshot_floor(ProcessId peer) const {
+    return peer < peer_snap_floors_.size() ? peer_snap_floors_[peer] : 1;
+  }
+
+  /// True once per (peer, advertised floor): the caller should send
+  /// SNAPSHOT_REQUEST to `peer`, whose advertised snapshot floor exceeds
+  /// our applied watermark `next_apply` (our needed slots may be pruned
+  /// there). A higher advertisement from the same peer re-opens the
+  /// request.
+  bool should_request_snapshot(ProcessId peer, Slot peer_floor,
+                               Slot next_apply);
+
+  /// The full SNAPSHOT_RESPONSE chunk sequence of the latest snapshot;
+  /// empty if none exists (or it exceeds the transfer budget). The
+  /// sequence is recipient-independent and every well-formed request is
+  /// served — holder-side dedup would strand a requester that crashed
+  /// mid-transfer and must re-fetch the same snapshot (honest requesters
+  /// already self-dedup via should_request_snapshot).
+  std::vector<Bytes> snapshot_chunks();
+
+  /// A transfer that crossed the install bar: the decoded snapshot plus
+  /// its already-verified canonical body and digest, so the installer can
+  /// adopt it without re-encoding or re-hashing.
+  struct VerifiedSnapshot {
+    smr::Snapshot snapshot;
+    Bytes body;
+    crypto::Digest digest;
+  };
+
+  /// Feeds one SNAPSHOT_RESPONSE chunk. Returns a decoded, digest-verified
+  /// snapshot ready to install once f + 1 distinct senders vouch for the
+  /// same (applied_below, digest) and a full body reassembled; the caller
+  /// installs it and (via note_snapshot) adopts it for serving others.
+  std::optional<VerifiedSnapshot> add_snapshot_chunk(
+      ProcessId from, Slot applied_below, const crypto::Digest& digest,
+      std::uint32_t index, std::uint32_t count, Bytes chunk,
+      Slot next_apply);
+
+  std::uint64_t snapshots_served() const { return snapshots_served_; }
+
  private:
+  /// Prunes decided values, claim state and reply dedup below `candidate`
+  /// (monotonic; no-op unless the floor actually rises).
+  void raise_floor(Slot candidate);
+
   std::uint32_t threshold_;
+  std::uint32_t chunk_bytes_;
   std::map<Slot, Value> decided_;
   /// slot -> claimed value bytes -> claimants.
   std::map<Slot, std::map<Bytes, std::set<ProcessId>>> claims_;
@@ -88,6 +182,29 @@ class CatchUpPolicy {
   std::vector<Slot> watermarks_;
   Slot floor_ = 1;
   std::uint64_t pruned_ = 0;
+
+  // Latest local snapshot (holder side).
+  Slot snap_below_ = 1;
+  Bytes snap_body_;
+  crypto::Digest snap_digest_{};
+  std::uint64_t snapshots_served_ = 0;
+
+  // In-flight fetch (requester side).
+  /// Per-peer advertised snapshot floor; index = ProcessId, start = 1.
+  std::vector<Slot> peer_snap_floors_;
+  /// peer -> snapshot floor we last requested from it.
+  std::map<ProcessId, Slot> snap_requested_;
+  struct SnapFetch {
+    std::uint32_t count = 0;
+    std::map<std::uint32_t, Bytes> chunks;
+    /// Delivered a complete body that failed verification: still counts
+    /// as an announcer, but is never reassembled (or hashed) again.
+    bool failed = false;
+  };
+  /// (applied_below, digest) -> per-sender partial bodies. The sender set
+  /// of a key doubles as its voucher set.
+  std::map<std::pair<Slot, crypto::Digest>, std::map<ProcessId, SnapFetch>>
+      snap_fetch_;
 };
 
 }  // namespace fastbft::engine

@@ -1,5 +1,7 @@
 #include "engine/pending_queue.hpp"
 
+#include <iterator>
+
 namespace fastbft::engine {
 
 bool PendingQueue::admit(const smr::Command& cmd) {
@@ -32,10 +34,29 @@ void PendingQueue::release(Slot slot) {
   claims_by_slot_.erase(it);
 }
 
-bool PendingQueue::applied(const smr::Command& cmd) {
-  if (!applied_.insert(id_of(cmd)).second) return false;
+bool PendingQueue::applied(const smr::Command& cmd, Slot slot) {
+  if (!applied_.emplace(id_of(cmd), slot).second) return false;
   trim_applied_prefix();
   return true;
+}
+
+void PendingQueue::restore_applied(const std::vector<AppliedEntry>& entries) {
+  applied_ = std::map<CommandId, Slot>(entries.begin(), entries.end());
+  trim_applied_prefix();
+}
+
+void PendingQueue::prune_applied_before(Slot floor) {
+  for (auto it = applied_.begin(); it != applied_.end();) {
+    it = it->second < floor ? applied_.erase(it) : std::next(it);
+  }
+}
+
+void PendingQueue::release_below(Slot floor) {
+  for (auto it = claims_by_slot_.begin();
+       it != claims_by_slot_.end() && it->first < floor;
+       it = claims_by_slot_.erase(it)) {
+    for (const CommandId& id : it->second) claimed_.erase(id);
+  }
 }
 
 void PendingQueue::trim_applied_prefix() {

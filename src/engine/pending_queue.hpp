@@ -25,6 +25,10 @@ class PendingQueue {
   /// (client_id, sequence) — the at-most-once identity of a command.
   using CommandId = std::pair<std::uint64_t, std::uint64_t>;
 
+  /// A dedup record: the id plus the slot that applied it, which is what
+  /// makes horizon pruning (and its snapshot export) deterministic.
+  using AppliedEntry = std::pair<CommandId, Slot>;
+
   /// Accepts a client request into the queue. Returns false for noops,
   /// duplicates of anything already seen, and already-applied commands.
   bool admit(const smr::Command& cmd);
@@ -36,9 +40,36 @@ class PendingQueue {
   /// Releases `slot`'s claims (call when the slot's decision was applied).
   void release(Slot slot);
 
-  /// Records a decided command as applied. Returns true on the first
-  /// application, false for duplicates (which the caller must skip).
-  bool applied(const smr::Command& cmd);
+  /// Records a decided command as applied by `slot`. Returns true on the
+  /// first application, false for duplicates (which the caller must skip).
+  bool applied(const smr::Command& cmd, Slot slot);
+
+  /// The applied-command dedup records in sorted id order — the
+  /// deterministic state a snapshot must carry so an installing replica
+  /// skips exactly the duplicates everyone else skipped.
+  std::vector<AppliedEntry> applied_ids() const {
+    return {applied_.begin(), applied_.end()};
+  }
+
+  /// REPLACES the dedup state with a snapshot's (queued copies of its ids
+  /// are dropped; nothing counts as a fresh application). A wholesale
+  /// replacement, not a merge: the snapshot set is the canonical
+  /// post-horizon state at its boundary, and an installer that kept ids
+  /// the snapshotters already pruned would skip a replayed command that
+  /// every other replica re-applies — divergence. The installer only ever
+  /// applied slots below the boundary, so nothing of local value is lost.
+  void restore_applied(const std::vector<AppliedEntry>& entries);
+
+  /// Drops dedup records applied in slots < `floor`. Called by the engine
+  /// at snapshot boundaries with a horizon below the boundary, so the
+  /// dedup set stays bounded by the horizon's command volume instead of
+  /// growing with the cluster's lifetime. Deterministic: every replica
+  /// prunes the same records at the same boundary.
+  void prune_applied_before(Slot floor);
+
+  /// Releases the claims of every slot below `floor` (snapshot install
+  /// supersedes those slots wholesale).
+  void release_below(Slot floor);
 
   std::size_t pending_count() const { return pending_.size(); }
   std::size_t claimed_count() const { return claimed_.size(); }
@@ -51,7 +82,8 @@ class PendingQueue {
 
   std::deque<smr::Command> pending_;
   std::set<CommandId> seen_;
-  std::set<CommandId> applied_;
+  /// id -> slot that applied it (the horizon-pruning tag).
+  std::map<CommandId, Slot> applied_;
   std::set<CommandId> claimed_;
   std::map<Slot, std::vector<CommandId>> claims_by_slot_;
 };

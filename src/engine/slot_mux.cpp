@@ -1,5 +1,7 @@
 #include "engine/slot_mux.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "net/tags.hpp"
 
@@ -7,14 +9,18 @@ namespace fastbft::engine {
 
 namespace {
 
-/// SMR_WRAPPED{slot, watermark, inner}: `watermark` gossips the sender's
-/// applied watermark (lowest unapplied slot) on every wrapped message, so
-/// peers can trim decided-value retention below the cluster-wide minimum.
-Bytes wrap(Slot slot, Slot watermark, const Bytes& inner) {
+/// SMR_WRAPPED{slot, watermark, snapshot floor, inner}: `watermark`
+/// gossips the sender's applied watermark (lowest unapplied slot) on every
+/// wrapped message, so peers can trim decided-value retention below the
+/// cluster-wide minimum; `snap_floor` gossips the sender's latest snapshot
+/// boundary, so a peer whose apply cursor sits below it knows its missing
+/// slots may be pruned and full-state transfer is the way back.
+Bytes wrap(Slot slot, Slot watermark, Slot snap_floor, const Bytes& inner) {
   Encoder enc;
   enc.u8(net::tags::kSmrWrapped);
   enc.u64(slot);
   enc.u64(watermark);
+  enc.u64(snap_floor);
   enc.bytes(inner);
   return std::move(enc).take();
 }
@@ -34,25 +40,33 @@ ProcessId SlotMux::SlotChannel::self() const {
 }
 
 SlotMux::SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
-                 SlotMuxOptions options, ApplyFn apply)
+                 SlotMuxOptions options, ApplyFn apply, SnapshotHooks hooks)
     : host_(host),
       ctx_(std::move(ctx)),
       transport_(transport),
       options_(std::move(options)),
       apply_(std::move(apply)),
+      hooks_(std::move(hooks)),
       timers_(host_),
-      catchup_(ctx_.cfg.f + 1, ctx_.cfg.n) {
+      catchup_(ctx_.cfg.f + 1, ctx_.cfg.n, options_.snapshot_chunk_bytes) {
   FASTBFT_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
 }
 
-SlotMux::~SlotMux() = default;
+SlotMux::~SlotMux() { *alive_ = false; }
+
+void SlotMux::defer_guarded(std::function<void()> fn) {
+  host_.defer([alive = alive_, fn = std::move(fn)] {
+    if (*alive) fn();
+  });
+}
 
 void SlotMux::start() { fill_window(); }
 
 bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
 
 void SlotMux::send_wrapped(Slot slot, ProcessId to, Bytes payload) {
-  transport_.send(to, wrap(slot, next_apply_, payload));
+  transport_.send(
+      to, wrap(slot, next_apply_, catchup_.snapshot_floor(), payload));
 }
 
 void SlotMux::fill_window() {
@@ -92,7 +106,7 @@ void SlotMux::start_slot(Slot slot) {
   auto on_decide = [this, slot](const consensus::DecisionRecord& record) {
     // Deciding happens inside the replica's message handler; defer the
     // teardown so we never destroy an executing replica.
-    host_.defer([this, slot, value = record.value] {
+    defer_guarded([this, slot, value = record.value] {
       on_slot_decided(slot, value);
     });
   };
@@ -113,7 +127,7 @@ void SlotMux::start_slot(Slot slot) {
 
   // A laggard may already hold f + 1 matching decided claims for this slot.
   if (auto claim = catchup_.ready_claim(slot)) {
-    host_.defer([this, slot, value = *claim] {
+    defer_guarded([this, slot, value = *claim] {
       on_slot_decided(slot, value);
     });
   }
@@ -140,10 +154,37 @@ void SlotMux::drain_apply() {
     apply_value(next_apply_, it->second);
     reorder_.erase(it);
     ++next_apply_;
+    maybe_take_snapshot(next_apply_ - 1);
   }
   // Our own watermark advanced; it participates in the prune floor exactly
   // like gossiped peer watermarks.
   catchup_.note_watermark(ctx_.id, next_apply_);
+}
+
+void SlotMux::maybe_take_snapshot(Slot just_applied) {
+  if (options_.snapshot_interval == 0 || !hooks_.state) return;
+  if (just_applied % options_.snapshot_interval != 0) return;
+
+  // Bound the dedup set before exporting it. Honest duplicates of one
+  // command land within the live window of each other (a second leader
+  // can only claim a command it has not applied yet), so records older
+  // than interval + window + backlog can only matter against deliberate
+  // replay of ancient commands — and pruning is a deterministic function
+  // of the slot boundary, so every replica re-applies such a replay
+  // identically and replicas never diverge. This keeps snapshot size
+  // proportional to the horizon's command volume, not cluster lifetime.
+  Slot horizon = options_.snapshot_interval + options_.pipeline_depth +
+                 options_.max_reorder_backlog;
+  Slot boundary = just_applied + 1;
+  pending_.prune_applied_before(boundary > horizon ? boundary - horizon : 1);
+
+  smr::Snapshot snap;
+  snap.applied_below = boundary;
+  snap.applied_commands = applied_commands_;
+  snap.kv_state = hooks_.state();
+  snap.applied_ids = pending_.applied_ids();
+  catchup_.note_snapshot(snap.applied_below, snap.encode());
+  ++snapshots_taken_;
 }
 
 void SlotMux::apply_value(Slot slot, const Value& value) {
@@ -152,7 +193,7 @@ void SlotMux::apply_value(Slot slot, const Value& value) {
   if (batch) {
     for (const auto& cmd : *batch) {
       if (cmd.kind == smr::OpKind::Noop) continue;
-      if (!pending_.applied(cmd)) continue;  // duplicate
+      if (!pending_.applied(cmd, slot)) continue;  // duplicate
       applied.push_back(cmd);
     }
   }
@@ -170,10 +211,38 @@ void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
   dec.u8();
   Slot slot = dec.u64();
   Slot watermark = dec.u64();
+  Slot snap_floor = dec.u64();
   Bytes inner = dec.bytes();
   if (!dec.ok() || !dec.at_end() || slot == 0) return;
 
   catchup_.note_watermark(from, watermark);
+
+  // A sender whose snapshot floor passed our apply cursor may have pruned
+  // slots we still need. Request full state immediately only when the
+  // floor is beyond our whole live window — a smaller gap is usually
+  // ordinary pipelining skew (we are about to decide those slots
+  // ourselves), and requesting eagerly would ship the entire state n^2
+  // times per interval in a healthy cluster. But "usually" is not
+  // "always": a stalled laggard inside the window is just as stuck if the
+  // cluster stops opening slots and no later boundary ever widens the
+  // gap. So small gaps arm a one-shot probe instead; it fires after a
+  // couple of view-change timeouts and requests only if the gap is still
+  // there.
+  catchup_.note_peer_snapshot_floor(from, snap_floor);
+  if (snap_floor > next_apply_) {
+    if (snap_floor > next_apply_ + options_.pipeline_depth) {
+      request_snapshots();
+    } else {
+      snap_probe_floor_ = std::max(snap_probe_floor_, snap_floor);
+      if (!snap_probe_armed_) {
+        snap_probe_armed_ = true;
+        timers_.schedule_after(2 * options_.sync.base_timeout, [this] {
+          snap_probe_armed_ = false;
+          if (snap_probe_floor_ > next_apply_) request_snapshots();
+        });
+      }
+    }
+  }
 
   if (catchup_.decided(slot) != nullptr) {
     // Traffic for a slot we already decided marks the sender as a laggard:
@@ -218,6 +287,107 @@ void SlotMux::on_decided_claim(ProcessId from, const Bytes& payload) {
   }
   // Claims for slots we have not opened yet stay parked in the policy;
   // start_slot() checks ready_claim() when the window reaches them.
+}
+
+void SlotMux::request_snapshots() {
+  // Ask EVERY peer that advertised a useful snapshot floor, not just the
+  // message that tipped us off: installing needs f + 1 distinct senders'
+  // chunks, and in an idle cluster there may never be another gossip
+  // round to solicit the rest. Per-peer dedup keeps this to one request
+  // per advertised floor; asking only advertisers keeps the dedup honest
+  // (a peer is never marked requested for a snapshot it was not yet known
+  // to hold).
+  for (ProcessId peer = 0; peer < ctx_.cfg.n; ++peer) {
+    if (peer == ctx_.id) continue;
+    Slot floor = catchup_.peer_snapshot_floor(peer);
+    if (floor <= next_apply_) continue;
+    if (!catchup_.should_request_snapshot(peer, floor, next_apply_)) {
+      continue;
+    }
+    Encoder req;
+    req.u8(net::tags::kSmrSnapRequest);
+    req.u64(next_apply_);
+    transport_.send(peer, std::move(req).take());
+  }
+}
+
+void SlotMux::on_snapshot_request(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  dec.u8();
+  Slot their_next_apply = dec.u64();
+  if (!dec.ok() || !dec.at_end()) return;
+  // Serve only when our snapshot actually covers slots the requester is
+  // missing; otherwise per-slot catch-up (or nothing) is the answer.
+  if (catchup_.snapshot_floor() <= their_next_apply) return;
+  for (auto& chunk : catchup_.snapshot_chunks()) {
+    transport_.send(from, std::move(chunk));
+  }
+}
+
+void SlotMux::on_snapshot_response(ProcessId from, const Bytes& payload) {
+  Decoder dec(payload);
+  dec.u8();
+  Slot applied_below = dec.u64();
+  Bytes digest_bytes = dec.bytes();
+  std::uint32_t index = dec.u32();
+  std::uint32_t count = dec.u32();
+  Bytes chunk = dec.bytes();
+  if (!dec.ok() || !dec.at_end() || applied_below == 0 ||
+      digest_bytes.size() != crypto::kDigestSize) {
+    return;
+  }
+  crypto::Digest digest;
+  std::copy(digest_bytes.begin(), digest_bytes.end(), digest.begin());
+
+  auto verified = catchup_.add_snapshot_chunk(from, applied_below, digest,
+                                              index, count, std::move(chunk),
+                                              next_apply_);
+  if (verified) {
+    install_snapshot(verified->snapshot, std::move(verified->body),
+                     verified->digest);
+  }
+}
+
+void SlotMux::install_snapshot(const smr::Snapshot& snap, Bytes body,
+                               const crypto::Digest& digest) {
+  if (snap.applied_below <= next_apply_) return;  // raced past it already
+
+  // Every slot below the snapshot boundary is superseded wholesale: tear
+  // down its live consensus instance, parked decision and claimed
+  // commands. The snapshot IS those slots' outcome.
+  for (auto it = active_.begin();
+       it != active_.end() && it->first < snap.applied_below;) {
+    it->second.sync->stop();
+    it = active_.erase(it);
+  }
+  reorder_.erase(reorder_.begin(), reorder_.lower_bound(snap.applied_below));
+  pending_.release_below(snap.applied_below);
+
+  // Adopt the dedup state so duplicates of snapshotted commands in later
+  // slots are skipped exactly as every other replica skipped them — a
+  // replacement, so ids the snapshotters already horizon-pruned are
+  // forgotten here too (see PendingQueue::restore_applied).
+  pending_.restore_applied(snap.applied_ids);
+  applied_commands_ = std::max(applied_commands_, snap.applied_commands);
+  next_apply_ = snap.applied_below;
+  next_start_ = std::max(next_start_, next_apply_);
+
+  // Adopt the snapshot itself: we can serve it onward, and our retention
+  // floor rises with it (the transferred body is already the canonical
+  // encoding, digest-verified — no re-encode/re-hash). Our watermark
+  // jumped too.
+  catchup_.note_snapshot(snap.applied_below, std::move(body), digest);
+  catchup_.note_watermark(ctx_.id, next_apply_);
+  ++snapshots_installed_;
+
+  // Restore the state machine before any post-snapshot slot applies.
+  if (hooks_.install) hooks_.install(snap);
+
+  // Decisions parked above the boundary may be applicable now, and the
+  // window reopens from the new cursor.
+  drain_apply();
+  fill_window();
+  note_inflight();
 }
 
 void SlotMux::note_inflight() {

@@ -41,9 +41,17 @@
 ///    torn down the moment it decides; claim/claim-reply bookkeeping is
 ///    dropped as slots retire; retained decided values are pruned below
 ///    the cluster-wide applied watermark gossiped in SMR traffic;
+///  * snapshots — every `snapshot_interval` applied slots the engine
+///    freezes the state machine (via the SnapshotHooks::state callback)
+///    into an smr::Snapshot, which unpins decided-value retention from
+///    crashed peers' frozen watermarks and serves full-state transfer
+///    (SNAPSHOT_REQUEST/SNAPSHOT_RESPONSE) to replicas whose needed slots
+///    were pruned; installing a verified snapshot jumps next-apply to the
+///    snapshot boundary and restores the state machine through
+///    SnapshotHooks::install;
 ///  * policy objects — client-command intake/dedup/claims (PendingQueue)
-///    and decided-value state transfer (CatchUpPolicy) live behind the
-///    engine rather than in the client-facing SMR shell.
+///    and decided-value/snapshot state transfer (CatchUpPolicy) live
+///    behind the engine rather than in the client-facing SMR shell.
 
 namespace fastbft::engine {
 
@@ -86,6 +94,14 @@ struct SlotMuxOptions {
   /// 0 disables the clamp (window-only limiting, the PR-1 behaviour).
   std::size_t max_reorder_backlog = 0;
 
+  /// Take a state snapshot every this many applied slots (0 disables).
+  /// Snapshots unpin decided-value retention from crashed peers and enable
+  /// full-state transfer for replicas that fell below the prune floor.
+  std::uint64_t snapshot_interval = 0;
+
+  /// Largest SNAPSHOT_RESPONSE chunk payload.
+  std::uint32_t snapshot_chunk_bytes = 1024;
+
   /// Per-slot consensus tuning.
   consensus::ReplicaOptions replica;
 
@@ -93,6 +109,16 @@ struct SlotMuxOptions {
   /// config; base_timeout is in host ticks — simulator ticks or
   /// microseconds on the wall-clock host).
   viewsync::SynchronizerConfig sync;
+};
+
+/// The engine's two touch points with the state machine it replicates but
+/// does not own: `state` serializes it for a snapshot (KvStore::serialize
+/// in the SMR shell), `install` restores it from a verified transferred
+/// snapshot. Both optional — without `state` no snapshots are taken,
+/// without `install` none can be adopted.
+struct SnapshotHooks {
+  std::function<Bytes()> state;
+  std::function<void(const smr::Snapshot&)> install;
 };
 
 class SlotMux {
@@ -103,7 +129,7 @@ class SlotMux {
       std::function<void(Slot slot, const std::vector<smr::Command>&)>;
 
   SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
-          SlotMuxOptions options, ApplyFn apply);
+          SlotMuxOptions options, ApplyFn apply, SnapshotHooks hooks = {});
   ~SlotMux();
 
   SlotMux(const SlotMux&) = delete;
@@ -120,6 +146,14 @@ class SlotMux {
 
   /// Full SMR_DECIDED payload: catch-up claim bookkeeping and adoption.
   void on_decided_claim(ProcessId from, const Bytes& payload);
+
+  /// Full SNAPSHOT_REQUEST payload: serve the latest snapshot, chunked,
+  /// if it actually covers slots the requester is missing.
+  void on_snapshot_request(ProcessId from, const Bytes& payload);
+
+  /// Full SNAPSHOT_RESPONSE payload: chunk reassembly; once a verified
+  /// snapshot emerges, install it and jump the apply cursor.
+  void on_snapshot_response(ProcessId from, const Bytes& payload);
 
   // --- Introspection (shell, tests, benchmarks) -----------------------------
 
@@ -147,6 +181,13 @@ class SlotMux {
 
   std::uint64_t applied_commands() const { return applied_commands_; }
   std::uint64_t noop_slots() const { return noop_slots_; }
+
+  /// Snapshots this engine froze locally at interval boundaries.
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
+
+  /// Verified snapshots adopted via state transfer (each jumped the apply
+  /// cursor past pruned slots).
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
 
   const PendingQueue& pending() const { return pending_; }
   const CatchUpPolicy& catchup() const { return catchup_; }
@@ -185,14 +226,24 @@ class SlotMux {
   void on_slot_decided(Slot slot, const Value& value);
   void drain_apply();
   void apply_value(Slot slot, const Value& value);
+  void maybe_take_snapshot(Slot just_applied);
+  void install_snapshot(const smr::Snapshot& snap, Bytes body,
+                        const crypto::Digest& digest);
+  void request_snapshots();
   void send_wrapped(Slot slot, ProcessId to, Bytes payload);
   void note_inflight();
+
+  /// Defers `fn` to the host, guarded so a closure outliving this engine
+  /// (e.g. across a crash-restart node swap) becomes a no-op instead of a
+  /// dangling call.
+  void defer_guarded(std::function<void()> fn);
 
   Host& host_;
   EngineContext ctx_;
   net::Transport& transport_;
   SlotMuxOptions options_;
   ApplyFn apply_;
+  SnapshotHooks hooks_;
 
   TimerWheel timers_;
   PendingQueue pending_;
@@ -210,6 +261,18 @@ class SlotMux {
   Slot next_apply_ = 1;
   std::uint64_t applied_commands_ = 0;
   std::uint64_t noop_slots_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
+
+  /// Deferred snapshot-request probe for small floor gaps (at most the
+  /// pipeline window): ordinary skew resolves itself before the probe
+  /// fires, but a genuinely stuck laggard must still request even if
+  /// traffic stops and no new boundary ever widens the gap.
+  bool snap_probe_armed_ = false;
+  Slot snap_probe_floor_ = 0;
+
+  /// Liveness flag captured by deferred closures (see defer_guarded).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace fastbft::engine

@@ -94,6 +94,11 @@ void SimNetwork::disconnect(ProcessId id) {
   disconnected_[id] = true;
 }
 
+void SimNetwork::reconnect(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "reconnect: id out of range");
+  disconnected_[id] = false;
+}
+
 void SimNetwork::flush_parked() {
   std::vector<Envelope> parked = std::move(parked_);
   parked_.clear();

@@ -90,6 +90,13 @@ class SimNetwork {
   /// the network level: messages already in flight still arrive, nothing
   /// new is accepted). Used to model fail-stop behaviours.
   void disconnect(ProcessId id);
+
+  /// Reverses disconnect(): `id` sends and receives again. Messages
+  /// addressed to it while disconnected stay dropped (a crash loses
+  /// volatile state; rejoin recovery is the protocol's job — see
+  /// runtime::Cluster::restart_at).
+  void reconnect(ProcessId id);
+
   bool is_disconnected(ProcessId id) const { return disconnected_[id]; }
 
   void set_script(DeliveryScript script) { script_ = std::move(script); }

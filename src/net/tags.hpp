@@ -37,5 +37,7 @@ inline constexpr std::uint8_t kFabRecoveryVote = 0x32;
 inline constexpr std::uint8_t kSmrRequest = 0x40;
 inline constexpr std::uint8_t kSmrWrapped = 0x41;  // slot-scoped consensus payload
 inline constexpr std::uint8_t kSmrDecided = 0x42;  // state transfer for laggards
+inline constexpr std::uint8_t kSmrSnapRequest = 0x43;   // full-state transfer: ask
+inline constexpr std::uint8_t kSmrSnapResponse = 0x44;  // full-state transfer: chunk
 
 }  // namespace fastbft::net::tags

@@ -67,7 +67,34 @@ void ThreadedNetwork::stop() {
 void ThreadedNetwork::disconnect(ProcessId id) {
   FASTBFT_ASSERT(id < n_, "disconnect: id out of range");
   disconnected_[id].store(true);
+  Inbox& inbox = *inboxes_[id];
+  {
+    // Drop undelivered traffic NOW, not when the worker next parks: a
+    // rejoin task posted right after this call outranks the disconnected
+    // branch in the worker loop, and must not find pre-crash envelopes to
+    // hand to the fresh incarnation. (Timers cannot be cleared here —
+    // they are touched lock-free by the delivery thread — but stale timer
+    // closures are liveness-guarded and swept when the worker parks.)
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.queue.clear();
+  }
+  inbox.cv.notify_all();
+}
+
+void ThreadedNetwork::reconnect(ProcessId id) {
+  FASTBFT_ASSERT(id < n_, "reconnect: id out of range");
+  disconnected_[id].store(false);
   inboxes_[id]->cv.notify_all();
+}
+
+void ThreadedNetwork::post(ProcessId id, std::function<void()> fn) {
+  FASTBFT_ASSERT(id < n_, "post: id out of range");
+  Inbox& inbox = *inboxes_[id];
+  {
+    std::lock_guard<std::mutex> lock(inbox.mutex);
+    inbox.tasks.push_back(std::move(fn));
+  }
+  inbox.cv.notify_one();
 }
 
 TimePoint ThreadedNetwork::now_ticks() const {
@@ -85,6 +112,11 @@ void ThreadedNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
   Inbox& inbox = *inboxes_[to];
   {
     std::lock_guard<std::mutex> lock(inbox.mutex);
+    // Re-check under the inbox lock: disconnect() clears the queue under
+    // this same lock, so without the re-check a send that passed the
+    // unlocked test above could enqueue AFTER the clear and hand a
+    // pre-crash envelope to a rejoined fresh incarnation.
+    if (disconnected_[to].load()) return;
     inbox.queue.emplace(std::make_pair(at, inbox.next_env_seq++),
                         Envelope{from, to, std::move(payload)});
   }
@@ -124,6 +156,7 @@ void ThreadedNetwork::run_worker(ProcessId id) {
   Inbox& inbox = *inboxes_[id];
   inbox.owner.store(std::this_thread::get_id(), std::memory_order_release);
   while (true) {
+    std::function<void()> task_fn;
     std::function<void()> timer_fn;
     Envelope env;
     bool have_env = false;
@@ -131,12 +164,26 @@ void ThreadedNetwork::run_worker(ProcessId id) {
       std::unique_lock<std::mutex> lock(inbox.mutex);
       for (;;) {
         if (stopping_.load()) return;
+        // Posted tasks outrank everything and run even while crashed:
+        // they are harness control flow (e.g. a rejoin swapping in a
+        // fresh process object), not network traffic.
+        if (!inbox.tasks.empty()) {
+          task_fn = std::move(inbox.tasks.front());
+          inbox.tasks.pop_front();
+          break;
+        }
         if (disconnected_[id].load()) {
-          // A crashed process goes silent: inbox dropped, timers never
-          // fire. Stay parked until shutdown.
+          // A crashed process goes silent: inbox and pending timers are
+          // dropped, so even after a reconnect nothing of the crashed
+          // incarnation ever fires. Park until shutdown, a rejoin task,
+          // or a reconnect.
           inbox.queue.clear();
-          inbox.cv.wait(lock, [&] { return stopping_.load(); });
-          return;
+          inbox.timers.clear();
+          inbox.cv.wait(lock, [&] {
+            return stopping_.load() || !inbox.tasks.empty() ||
+                   !disconnected_[id].load();
+          });
+          continue;
         }
         TimePoint now = now_ticks();
         // Due timers run before due messages: deadlines are promises to
@@ -168,7 +215,9 @@ void ThreadedNetwork::run_worker(ProcessId id) {
         }
       }
     }
-    if (have_env) {
+    if (task_fn) {
+      task_fn();
+    } else if (have_env) {
       delivered_.fetch_add(1);
       handlers_[id](env.from, env.payload);
     } else if (timer_fn) {

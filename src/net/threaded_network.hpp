@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -88,8 +89,24 @@ class ThreadedNetwork {
   void stop();
 
   /// Simulates a crash: the process stops receiving, its sends are
-  /// dropped and its timers never fire again. Thread-safe.
+  /// dropped and its pending timers are discarded. Thread-safe.
   void disconnect(ProcessId id);
+
+  /// Reverses disconnect(): the process receives and sends again (its old
+  /// inbox and timers stayed dropped — a rejoining process starts from a
+  /// clean network slate). Thread-safe; a no-op if not disconnected.
+  ///
+  /// A rejoin that also replaces the process object must sequence the
+  /// swap with this call on the delivery thread via post() — see
+  /// runtime::ThreadedSmrCluster::restart.
+  void reconnect(ProcessId id);
+
+  /// Runs `fn` on process `id`'s delivery thread, interleaved with its
+  /// message handlers and timers — even while the process is
+  /// disconnected. This is the only safe way to touch a process's
+  /// protocol objects (or its timers, per the same-thread contract) from
+  /// outside mid-run. Thread-safe; tasks run in post order.
+  void post(ProcessId id, std::function<void()> fn);
 
   void send(ProcessId from, ProcessId to, Bytes payload);
 
@@ -131,6 +148,10 @@ class ThreadedNetwork {
     std::map<std::pair<TimePoint, std::uint64_t>, std::function<void()>>
         timers;
     std::uint64_t next_timer_seq = 0;
+
+    /// Closures posted via post(): drained ahead of timers and messages,
+    /// and the only work a disconnected worker still performs.
+    std::deque<std::function<void()>> tasks;
 
     /// Delivery thread id, set as the worker starts (atomic only so the
     /// contract assert itself is race-free).

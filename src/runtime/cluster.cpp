@@ -35,6 +35,12 @@ void Cluster::crash_at(ProcessId id, TimePoint at) {
   faulty_[id] = true;
 }
 
+void Cluster::restart_at(ProcessId id, TimePoint at) {
+  FASTBFT_ASSERT(!started_, "configure the cluster before start()");
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  scheduled_restarts_.emplace_back(id, at);
+}
+
 void Cluster::mark_faulty(ProcessId id) {
   FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
   faulty_[id] = true;
@@ -54,25 +60,8 @@ void Cluster::start() {
                  "adversaries)");
 
   const auto n = options_.cfg.n;
-  auto record_decision = [this](ProcessId pid,
-                                const consensus::DecisionRecord& record) {
-    decisions_.push_back(Decision{pid, record.value, record.view, sched_.now(),
-                                  record.via_slow_path});
-  };
   for (ProcessId id = 0; id < n; ++id) {
-    ProcessContext ctx{options_.cfg, id,        inputs_[id], network_.get(),
-                       keys_,        leader_of_, &sched_};
-    if (factories_[id]) {
-      processes_[id] = factories_[id](ctx);
-    } else if (options_.node_factory) {
-      processes_[id] = options_.node_factory(ctx, options_.node, record_decision);
-    } else {
-      auto node = std::make_unique<Node>(options_.cfg, id, inputs_[id],
-                                         *network_, keys_, leader_of_,
-                                         options_.node, record_decision);
-      nodes_[id] = node.get();
-      processes_[id] = std::move(node);
-    }
+    build_process(id);
     network_->attach(id, [this, id](ProcessId from, const Bytes& payload) {
       if (processes_[id]) processes_[id]->on_message(from, payload);
     });
@@ -82,10 +71,47 @@ void Cluster::start() {
     sched_.schedule_at(at, [this, id = id] { network_->disconnect(id); });
   }
 
+  for (const auto& [id, at] : scheduled_restarts_) {
+    sched_.schedule_at(at, [this, id = id] {
+      FASTBFT_ASSERT(network_->is_disconnected(id),
+                     "restart_at: process never crashed");
+      // Crash-recovery loses volatile state: the old instance is replaced
+      // by a factory-fresh one (the in-flight network handler reads
+      // processes_[id] at delivery time, so no re-attach is needed), the
+      // network re-admits it, and it start()s from scratch. Everything it
+      // knew must come back through catch-up or snapshot transfer.
+      network_->reconnect(id);
+      build_process(id);
+      processes_[id]->start();
+    });
+  }
+
   for (ProcessId id = 0; id < n; ++id) {
     if (processes_[id]) {
       sched_.schedule_at(0, [this, id] { processes_[id]->start(); });
     }
+  }
+}
+
+void Cluster::build_process(ProcessId id) {
+  auto record_decision = [this](ProcessId pid,
+                                const consensus::DecisionRecord& record) {
+    decisions_.push_back(Decision{pid, record.value, record.view, sched_.now(),
+                                  record.via_slow_path});
+  };
+  ProcessContext ctx{options_.cfg, id,        inputs_[id], network_.get(),
+                     keys_,        leader_of_, &sched_};
+  nodes_[id] = nullptr;
+  if (factories_[id]) {
+    processes_[id] = factories_[id](ctx);
+  } else if (options_.node_factory) {
+    processes_[id] = options_.node_factory(ctx, options_.node, record_decision);
+  } else {
+    auto node = std::make_unique<Node>(options_.cfg, id, inputs_[id],
+                                       *network_, keys_, leader_of_,
+                                       options_.node, record_decision);
+    nodes_[id] = node.get();
+    processes_[id] = std::move(node);
   }
 }
 

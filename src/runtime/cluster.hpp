@@ -72,6 +72,17 @@ class Cluster {
   /// executions). Marks it faulty.
   void crash_at(ProcessId id, TimePoint at);
 
+  /// Crash-recovery: at `at`, process `id` rejoins the network as a FRESH
+  /// instance (rebuilt through the same factory path, with none of its
+  /// pre-crash volatile state) and start()s again. Pair with an earlier
+  /// crash_at for the same id. Recovering the lost state is the protocol's
+  /// job — the SMR stack does it via decided-value catch-up and KV
+  /// snapshot state transfer (docs/CATCHUP.md). The process stays counted
+  /// as faulty: it did crash in this execution, and the paper's resilience
+  /// accounting (and this harness's correctness checks) treat
+  /// crash-recovery as a fault.
+  void restart_at(ProcessId id, TimePoint at);
+
   /// Marks a process faulty without altering it (e.g. when the test drives
   /// misbehaviour through a network script).
   void mark_faulty(ProcessId id);
@@ -123,6 +134,10 @@ class Cluster {
   Node* node(ProcessId id);
 
  private:
+  /// (Re)builds process `id` through its configured factory path and
+  /// installs it in processes_/nodes_. Used at start() and by restart_at.
+  void build_process(ProcessId id);
+
   ClusterOptions options_;
   std::vector<Value> inputs_;
 
@@ -136,6 +151,7 @@ class Cluster {
   std::vector<Node*> nodes_;  // non-null only for honest default nodes
   std::vector<bool> faulty_;
   std::vector<std::pair<ProcessId, TimePoint>> scheduled_crashes_;
+  std::vector<std::pair<ProcessId, TimePoint>> scheduled_restarts_;
 
   std::vector<Decision> decisions_;
   bool started_ = false;

@@ -11,30 +11,48 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
       net_(cfg.n, net::ThreadedNetworkConfig{options_.link_delay}),
       keys_(std::make_shared<const crypto::KeyStore>(options_.key_seed,
                                                      cfg.n)),
+      leader_of_(consensus::round_robin_leader(cfg.n)),
+      smr_options_(options_.smr),
       applied_count_(cfg.n, 0),
       applied_slots_(cfg.n),
+      snapshot_installs_(cfg.n, 0),
       faulty_(cfg.n, false) {
-  auto leader_of = consensus::round_robin_leader(cfg.n);
-  smr::SmrOptions smr_options = options_.smr;
-  smr_options.node.sync.base_timeout = options_.sync_base_timeout_us;
+  smr_options_.node.sync.base_timeout = options_.sync_base_timeout_us;
 
   for (ProcessId id = 0; id < cfg.n; ++id) {
     hosts_.push_back(std::make_unique<engine::ThreadedHost>(net_, id));
-    engine::EngineContext ectx{cfg, id, keys_, leader_of,
-                               /*stats=*/nullptr};
-    nodes_.push_back(std::make_unique<smr::SmrNode>(
-        *hosts_.back(), std::move(ectx), net_.endpoint(id), smr_options,
-        [this](ProcessId pid, Slot slot, const std::vector<smr::Command>&
-                                             commands) {
-          std::lock_guard<std::mutex> lock(mutex_);
-          applied_count_[pid] += commands.size();
-          applied_slots_[pid].push_back(slot);
-          applied_cv_.notify_all();
-        }));
+    nodes_.push_back(make_node(id));
+    // The handler reads nodes_[id] at delivery time, so restart() can swap
+    // in a fresh node (on this same delivery thread) without re-attaching.
     net_.attach(id, [this, id](ProcessId from, const Bytes& payload) {
       nodes_[id]->on_message(from, payload);
     });
   }
+}
+
+std::unique_ptr<smr::SmrNode> ThreadedSmrCluster::make_node(ProcessId id) {
+  engine::EngineContext ectx{cfg_, id, keys_, leader_of_,
+                             /*stats=*/nullptr};
+  auto node = std::make_unique<smr::SmrNode>(
+      *hosts_[id], std::move(ectx), net_.endpoint(id), smr_options_,
+      [this](ProcessId pid, Slot slot,
+             const std::vector<smr::Command>& commands) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        applied_count_[pid] += commands.size();
+        applied_slots_[pid].push_back(slot);
+        applied_cv_.notify_all();
+      });
+  node->set_install_callback(
+      [this](ProcessId pid, const smr::Snapshot& snap) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // The snapshot subsumes every command below its boundary; the
+        // commit callback keeps adding the slots applied after it.
+        applied_count_[pid] = std::max(applied_count_[pid],
+                                       snap.applied_commands);
+        ++snapshot_installs_[pid];
+        applied_cv_.notify_all();
+      });
+  return node;
 }
 
 ThreadedSmrCluster::~ThreadedSmrCluster() { stop(); }
@@ -47,6 +65,31 @@ void ThreadedSmrCluster::crash(ProcessId id) {
     applied_cv_.notify_all();
   }
   net_.disconnect(id);
+}
+
+void ThreadedSmrCluster::restart(ProcessId id) {
+  FASTBFT_ASSERT(id < cfg_.n, "restart: id out of range");
+  FASTBFT_ASSERT(started_ && !stopped_, "restart: only mid-run");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FASTBFT_ASSERT(faulty_[id], "restart: process never crashed");
+    // The fresh incarnation's log starts empty; it re-earns its applied
+    // count through snapshot install + catch-up, and from here on the
+    // wait/agreement accounting holds it to the correct-replica bar.
+    applied_count_[id] = 0;
+    applied_slots_[id].clear();
+    faulty_[id] = false;
+  }
+  // The swap, the reconnect and start() all run on `id`'s own delivery
+  // thread: the old node is destroyed where its timers live (same-thread
+  // contract), and no message can reach the fresh node before it exists.
+  // While still disconnected the worker only runs posted tasks, so the
+  // reconnect-inside-the-task ordering is race-free.
+  net_.post(id, [this, id] {
+    nodes_[id] = make_node(id);
+    net_.reconnect(id);
+    nodes_[id]->start();
+  });
 }
 
 void ThreadedSmrCluster::start() {
@@ -108,6 +151,11 @@ std::vector<Slot> ThreadedSmrCluster::applied_slots(ProcessId id) const {
 bool ThreadedSmrCluster::is_faulty(ProcessId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return faulty_[id];
+}
+
+std::uint64_t ThreadedSmrCluster::snapshots_installed(ProcessId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_installs_[id];
 }
 
 bool ThreadedSmrCluster::correct_stores_agree() const {

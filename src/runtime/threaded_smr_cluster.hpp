@@ -61,6 +61,17 @@ class ThreadedSmrCluster {
   /// wait/agreement accounting. Thread-safe.
   void crash(ProcessId id);
 
+  /// Crash-recovery, mid-run: a previously crash()ed process rejoins as a
+  /// FRESH SmrNode with empty volatile state — recovering it is the
+  /// protocol's job (decided-value catch-up, and KV snapshot state
+  /// transfer once snapshot_interval is set; docs/CATCHUP.md). Clears the
+  /// faulty mark, so wait_applied() and correct_stores_agree() hold the
+  /// rejoined replica to the same bar as everyone else. The node swap and
+  /// start() run on the process's own delivery thread (via
+  /// ThreadedNetwork::post) to honour the same-thread timer contract.
+  /// Thread-safe.
+  void restart(ProcessId id);
+
   /// Opens every node's initial slot window (single-threaded seeding),
   /// then spawns the delivery threads.
   void start();
@@ -92,6 +103,10 @@ class ThreadedSmrCluster {
   std::uint64_t delivered_messages() const { return net_.delivered_count(); }
   std::uint64_t timers_fired() const { return net_.timers_fired(); }
 
+  /// Snapshots this process installed via state transfer (counted across
+  /// restarts).
+  std::uint64_t snapshots_installed(ProcessId id) const;
+
   // --- Pre-start / post-stop introspection ----------------------------------
 
   /// The node itself (engine window, catch-up policy, KV store). Only
@@ -107,10 +122,16 @@ class ThreadedSmrCluster {
   const consensus::QuorumConfig& config() const { return cfg_; }
 
  private:
+  /// Builds a fresh SmrNode for `id` (constructor only — no timers armed,
+  /// so it is safe on the setup thread and on the delivery thread alike).
+  std::unique_ptr<smr::SmrNode> make_node(ProcessId id);
+
   consensus::QuorumConfig cfg_;
   ThreadedSmrClusterOptions options_;
   net::ThreadedNetwork net_;
   std::shared_ptr<const crypto::KeyStore> keys_;
+  consensus::LeaderFn leader_of_;
+  smr::SmrOptions smr_options_;  // resolved (wall-clock sync timeout applied)
   std::vector<std::unique_ptr<engine::ThreadedHost>> hosts_;
   std::vector<std::unique_ptr<smr::SmrNode>> nodes_;
 
@@ -118,6 +139,7 @@ class ThreadedSmrCluster {
   std::condition_variable applied_cv_;
   std::vector<std::uint64_t> applied_count_;
   std::vector<std::vector<Slot>> applied_slots_;
+  std::vector<std::uint64_t> snapshot_installs_;
   std::vector<bool> faulty_;
   bool started_ = false;
   bool stopped_ = false;

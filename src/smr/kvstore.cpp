@@ -23,6 +23,10 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
 }
 
 crypto::Digest KvStore::state_digest() const {
+  return crypto::sha256(serialize());
+}
+
+Bytes KvStore::serialize() const {
   Encoder enc;
   enc.u64(applied_);
   enc.u64(data_.size());
@@ -30,7 +34,25 @@ crypto::Digest KvStore::state_digest() const {
     enc.str(key);
     enc.str(value);
   }
-  return crypto::sha256(std::move(enc).take());
+  return std::move(enc).take();
+}
+
+bool KvStore::restore(const Bytes& image) {
+  Decoder dec(image);
+  std::uint64_t applied = dec.u64();
+  std::uint64_t count = dec.u64();
+  if (!dec.ok()) return false;
+  std::map<std::string, std::string> data;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key = dec.str();
+    std::string value = dec.str();
+    if (!dec.ok()) return false;
+    data.emplace(std::move(key), std::move(value));
+  }
+  if (!dec.at_end() || data.size() != count) return false;
+  data_ = std::move(data);
+  applied_ = applied;
+  return true;
 }
 
 }  // namespace fastbft::smr

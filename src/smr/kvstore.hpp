@@ -28,6 +28,15 @@ class KvStore {
   /// count: equal digests mean equal replica states.
   crypto::Digest state_digest() const;
 
+  /// Canonical serialization of the full state (applied count + sorted
+  /// pairs). Two stores with equal state_digest() serialize identically,
+  /// which is what makes snapshots comparable across replicas.
+  Bytes serialize() const;
+
+  /// Replaces the entire state with a serialize() image. Returns false and
+  /// leaves the store untouched on malformed input.
+  bool restore(const Bytes& image);
+
  private:
   std::map<std::string, std::string> data_;
   std::uint64_t applied_ = 0;

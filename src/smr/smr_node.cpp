@@ -1,5 +1,6 @@
 #include "smr/smr_node.hpp"
 
+#include "common/assert.hpp"
 #include "net/tags.hpp"
 
 namespace fastbft::smr {
@@ -32,14 +33,26 @@ void SmrNode::init_mux(engine::Host& host) {
   mux_options.target_commands = options_.target_commands;
   mux_options.rotate_leaders = options_.rotate_leaders;
   mux_options.max_reorder_backlog = options_.max_reorder_backlog;
+  mux_options.snapshot_interval = options_.snapshot_interval;
+  mux_options.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
   mux_options.replica = options_.node.replica;
   mux_options.sync = options_.node.sync;
+  engine::SnapshotHooks hooks;
+  hooks.state = [this] { return store_.serialize(); };
+  hooks.install = [this](const Snapshot& snap) {
+    bool restored = store_.restore(snap.kv_state);
+    // The body already passed digest verification against f + 1 vouchers;
+    // a malformed KV image here would mean a broken snapshot encoder.
+    FASTBFT_ASSERT(restored, "verified snapshot failed to restore");
+    if (on_install_) on_install_(ectx_.id, snap);
+  };
   mux_ = std::make_unique<engine::SlotMux>(
       host, ectx_, *endpoint_, mux_options,
       [this](Slot slot, const std::vector<Command>& applied) {
         for (const auto& cmd : applied) store_.apply(cmd);
         if (on_commit_) on_commit_(ectx_.id, slot, applied);
-      });
+      },
+      std::move(hooks));
 }
 
 SmrNode::~SmrNode() = default;
@@ -68,6 +81,12 @@ void SmrNode::on_message(ProcessId from, const Bytes& payload) {
       return;
     case net::tags::kSmrDecided:
       mux_->on_decided_claim(from, payload);
+      return;
+    case net::tags::kSmrSnapRequest:
+      mux_->on_snapshot_request(from, payload);
+      return;
+    case net::tags::kSmrSnapResponse:
+      mux_->on_snapshot_response(from, payload);
       return;
     default:
       return;

@@ -29,11 +29,17 @@
 ///    process leads a slot can propose them. Commands are deduplicated by
 ///    (client_id, sequence) at apply time.
 ///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, applied
-///    watermark, inner}; the watermark gossip lets peers prune decided
-///    values everyone has applied.
+///    watermark, snapshot floor, inner}; the watermark gossip lets peers
+///    prune decided values everyone has applied, and the snapshot-floor
+///    gossip tells laggards when those slots are gone for good.
 ///  * A replica receiving slot-s traffic after deciding s replies with
 ///    SMR_DECIDED{s, value}; f + 1 matching claims let a laggard adopt the
 ///    decision.
+///  * A replica whose apply cursor sits below a peer's gossiped snapshot
+///    floor sends SNAPSHOT_REQUEST; the peer answers with its latest
+///    snapshot chunked into SNAPSHOT_RESPONSE messages. f + 1 matching
+///    (slot, digest) vouchers plus a digest-verified body install the
+///    state and resume applying from the snapshot boundary (docs/CATCHUP.md).
 
 namespace fastbft::smr {
 
@@ -56,6 +62,15 @@ struct SmrOptions {
   /// 0 = disabled).
   std::size_t max_reorder_backlog = 0;
 
+  /// Freeze a KV snapshot every this many applied slots (0 = never).
+  /// Snapshots unpin decided-value retention from crashed replicas and
+  /// let a rejoining replica recover by state transfer instead of replay
+  /// (see engine::SlotMuxOptions and docs/CATCHUP.md).
+  std::uint64_t snapshot_interval = 0;
+
+  /// Largest snapshot-transfer chunk payload (see engine::SlotMuxOptions).
+  std::uint32_t snapshot_chunk_bytes = 1024;
+
   /// Per-slot consensus/synchronizer tuning.
   runtime::NodeOptions node;
 };
@@ -65,6 +80,11 @@ class SmrNode final : public runtime::IProcess {
   /// Called after each slot is applied on this replica.
   using CommitCallback = std::function<void(
       ProcessId pid, Slot slot, const std::vector<Command>& commands)>;
+
+  /// Called after a transferred snapshot is installed (the store already
+  /// restored). Lets harnesses account for the slots the replica skipped.
+  using InstallCallback =
+      std::function<void(ProcessId pid, const Snapshot& snapshot)>;
 
   /// Simulator shell: builds a SimHost over the cluster scheduler and a
   /// SimNetwork endpoint from the process context.
@@ -78,6 +98,11 @@ class SmrNode final : public runtime::IProcess {
           std::unique_ptr<net::Transport> endpoint, SmrOptions options,
           CommitCallback on_commit);
   ~SmrNode() override;
+
+  /// Optional snapshot-install notification; set before start().
+  void set_install_callback(InstallCallback on_install) {
+    on_install_ = std::move(on_install);
+  }
 
   void start() override;
   void on_message(ProcessId from, const Bytes& payload) override;
@@ -106,6 +131,7 @@ class SmrNode final : public runtime::IProcess {
   engine::EngineContext ectx_;
   SmrOptions options_;
   CommitCallback on_commit_;
+  InstallCallback on_install_;
   std::unique_ptr<engine::SimHost> owned_host_;  // sim shell only
   std::unique_ptr<net::Transport> endpoint_;
   std::unique_ptr<engine::SlotMux> mux_;

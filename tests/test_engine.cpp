@@ -2,11 +2,12 @@
 
 #include "engine/catchup.hpp"
 #include "engine/host.hpp"
+#include "engine/pending_queue.hpp"
 #include "engine/timer_wheel.hpp"
 
 /// Engine policy objects in isolation: the host-agnostic timer wheel
 /// (eager cancellation) and the catch-up policy's watermark-based
-/// retention trimming.
+/// retention trimming plus snapshot retention/state transfer.
 
 namespace fastbft::engine {
 namespace {
@@ -150,6 +151,168 @@ TEST(CatchUpPolicyTest, ClaimStateBelowFloorIsDroppedAndStaysOut) {
   EXPECT_FALSE(policy.add_claim(1, 0, val("x")).has_value());
   EXPECT_FALSE(policy.add_claim(1, 3, val("x")).has_value());
   EXPECT_FALSE(policy.ready_claim(1).has_value());
+}
+
+// --- PendingQueue dedup horizon ---------------------------------------------------
+
+TEST(PendingQueueTest, AppliedHorizonPruneIsDeterministicBySlotTag) {
+  PendingQueue queue;
+  auto cmd = [](std::uint64_t seq) {
+    return smr::Command::put("k", "v", /*client=*/1, seq);
+  };
+  EXPECT_TRUE(queue.applied(cmd(1), /*slot=*/5));
+  EXPECT_TRUE(queue.applied(cmd(2), /*slot=*/9));
+  EXPECT_FALSE(queue.applied(cmd(1), /*slot=*/10)) << "duplicate must skip";
+
+  // Pruning keys on the slot that applied each id, so every replica
+  // pruning at the same boundary drops the same records.
+  queue.prune_applied_before(8);
+  ASSERT_EQ(queue.applied_ids().size(), 1u);
+  EXPECT_EQ(queue.applied_ids()[0],
+            (PendingQueue::AppliedEntry{{1, 2}, 9}));
+
+  // A pruned id re-applies — identically on every replica, which is what
+  // keeps the horizon safe against replays of ancient commands.
+  EXPECT_TRUE(queue.applied(cmd(1), /*slot=*/12));
+}
+
+// --- CatchUpPolicy snapshot retention & state transfer ---------------------------
+
+smr::Snapshot test_snapshot(Slot applied_below) {
+  smr::Snapshot snap;
+  snap.applied_below = applied_below;
+  snap.applied_commands = applied_below - 1;
+  snap.kv_state = to_bytes("kv-state-" + std::to_string(applied_below));
+  snap.applied_ids = {{{1, 1}, 1}, {{1, 2}, 2}};
+  return snap;
+}
+
+TEST(CatchUpPolicySnapshot, SnapshotUnpinsRetentionFromFrozenWatermark) {
+  CatchUpPolicy policy(/*threshold=*/2, /*cluster_size=*/4);
+  for (Slot s = 1; s <= 12; ++s) {
+    policy.record_decided(s, val("v" + std::to_string(s)));
+  }
+  // p3 crashed after applying 2 slots: its frozen watermark pins the
+  // floor at 3 no matter how far the healthy peers advance.
+  policy.note_watermark(3, 3);
+  for (ProcessId p = 0; p < 3; ++p) policy.note_watermark(p, 13);
+  EXPECT_EQ(policy.prune_floor(), 3u);
+  EXPECT_EQ(policy.decided_count(), 10u);
+
+  // A snapshot covering slots < 9 supersedes per-slot retention below it:
+  // the floor jumps past the frozen watermark and the values are pruned.
+  policy.note_snapshot(9, test_snapshot(9).encode());
+  EXPECT_EQ(policy.prune_floor(), 9u);
+  EXPECT_EQ(policy.snapshot_floor(), 9u);
+  EXPECT_EQ(policy.decided_count(), 4u);  // slots 9..12 retained
+  EXPECT_EQ(policy.decided(5), nullptr);
+
+  // A stale (older) snapshot never regresses anything.
+  policy.note_snapshot(4, test_snapshot(4).encode());
+  EXPECT_EQ(policy.snapshot_floor(), 9u);
+}
+
+TEST(CatchUpPolicySnapshot, RequestDedupsButServingAnswersEveryRequest) {
+  CatchUpPolicy policy(/*threshold=*/2, /*cluster_size=*/4);
+
+  // Nothing to request while the peer's floor does not pass our cursor.
+  EXPECT_FALSE(policy.should_request_snapshot(1, 5, 10));
+  // First sight of a useful floor: ask. Same floor again: don't.
+  EXPECT_TRUE(policy.should_request_snapshot(1, 9, 1));
+  EXPECT_FALSE(policy.should_request_snapshot(1, 9, 1));
+  // The peer snapshotting further re-opens the request.
+  EXPECT_TRUE(policy.should_request_snapshot(1, 17, 1));
+
+  // Serving: nothing before a snapshot exists.
+  EXPECT_TRUE(policy.snapshot_chunks().empty());
+  policy.note_snapshot(9, test_snapshot(9).encode());
+  auto chunks = policy.snapshot_chunks();
+  EXPECT_FALSE(chunks.empty());
+  EXPECT_EQ(policy.snapshots_served(), 1u);
+  // A repeated request is served again: the requester may have crashed
+  // mid-transfer and lost its reassembly state — holder-side dedup would
+  // strand it forever (requester-side dedup bounds the honest traffic).
+  EXPECT_FALSE(policy.snapshot_chunks().empty());
+  EXPECT_EQ(policy.snapshots_served(), 2u);
+}
+
+TEST(CatchUpPolicySnapshot, InstallNeedsThresholdVouchersAndValidBody) {
+  CatchUpPolicy policy(/*threshold=*/2, /*cluster_size=*/4,
+                       /*snapshot_chunk_bytes=*/8);
+  smr::Snapshot snap = test_snapshot(9);
+  Bytes body = snap.encode();
+  crypto::Digest digest = crypto::sha256(body);
+  auto chunks = split_chunks(body, 8);
+  ASSERT_GT(chunks.size(), 1u) << "the fixture must actually chunk";
+  auto count = static_cast<std::uint32_t>(chunks.size());
+
+  // All chunks from one sender: full body, digest fine — but a single
+  // voucher proves nothing (it could have fabricated the whole snapshot).
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EXPECT_FALSE(policy
+                     .add_snapshot_chunk(/*from=*/1, 9, digest, i, count,
+                                         Bytes(chunks[i]), /*next_apply=*/1)
+                     .has_value());
+  }
+
+  // A second sender vouching for a DIFFERENT digest does not help.
+  crypto::Digest other{};
+  EXPECT_FALSE(policy
+                   .add_snapshot_chunk(2, 9, other, 0, 1, Bytes{0xde, 0xad},
+                                       1)
+                   .has_value());
+
+  // The second voucher for the right (slot, digest) crosses f + 1: the
+  // already-complete body from sender 1 installs, handing back the
+  // verified body + digest alongside the decoded snapshot.
+  auto installed = policy.add_snapshot_chunk(3, 9, digest, 0, count,
+                                             Bytes(chunks[0]), 1);
+  ASSERT_TRUE(installed.has_value());
+  EXPECT_EQ(installed->snapshot, snap);
+  EXPECT_EQ(installed->body, body);
+  EXPECT_EQ(installed->digest, digest);
+}
+
+TEST(CatchUpPolicySnapshot, StaleAndMalformedChunksAreRejected) {
+  CatchUpPolicy policy(/*threshold=*/1, /*cluster_size=*/4);
+  smr::Snapshot snap = test_snapshot(5);
+  Bytes body = snap.encode();
+  crypto::Digest digest = crypto::sha256(body);
+
+  // Covering nothing beyond our cursor: useless, dropped.
+  EXPECT_FALSE(policy
+                   .add_snapshot_chunk(1, 5, digest, 0, 1, Bytes(body),
+                                       /*next_apply=*/5)
+                   .has_value());
+  // Bogus chunk geometry is rejected outright.
+  EXPECT_FALSE(policy.add_snapshot_chunk(1, 5, digest, 1, 1, Bytes(body), 1)
+                   .has_value());
+  EXPECT_FALSE(policy.add_snapshot_chunk(1, 5, digest, 0, 0, Bytes(body), 1)
+                   .has_value());
+  // A body that does not hash to the announced digest never installs,
+  // even at threshold 1 with a complete reassembly — and the sender is
+  // flagged (honest senders cannot produce a failing body, so it is
+  // Byzantine; flagging stops it forcing endless re-hashing) so even its
+  // later genuine bytes are ignored.
+  Bytes tampered(body);
+  tampered[0] ^= 0xff;
+  EXPECT_FALSE(policy
+                   .add_snapshot_chunk(1, 5, digest, 0, 1,
+                                       std::move(tampered), 1)
+                   .has_value());
+  EXPECT_FALSE(policy.add_snapshot_chunk(1, 5, digest, 0, 1, Bytes(body), 1)
+                   .has_value());
+  // A different, honest sender still installs the same snapshot.
+  EXPECT_TRUE(policy.add_snapshot_chunk(2, 5, digest, 0, 1, Bytes(body), 1)
+                  .has_value());
+
+  // A chunk exceeding the configured chunk size is flooding (the count
+  // cap alone would not bound memory): rejected outright.
+  CatchUpPolicy tight(/*threshold=*/1, /*cluster_size=*/4,
+                      /*snapshot_chunk_bytes=*/8);
+  ASSERT_GT(body.size(), 8u);
+  EXPECT_FALSE(tight.add_snapshot_chunk(1, 5, digest, 0, 1, Bytes(body), 1)
+                   .has_value());
 }
 
 }  // namespace

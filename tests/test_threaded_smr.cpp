@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
 #include "runtime/threaded_smr_cluster.hpp"
 
@@ -110,6 +111,82 @@ TEST(ThreadedSmr, WatermarkGossipBoundsCatchUpRetention) {
               static_cast<std::size_t>(engine.highest_started()))
         << "p" << id << " retains every decided value";
     expect_applied_in_slot_order(cluster.applied_slots(id), id);
+  }
+}
+
+TEST(ThreadedSmr, CrashedReplicaRejoinsViaSnapshotStateTransfer) {
+  // Crash -> watermark pin -> snapshot-based rejoin, on real threads and
+  // wall-clock time: p3 fail-stops mid-run, the survivors snapshot past
+  // its crash point (pruning the slots it would need to replay), and a
+  // factory-fresh p3 rejoins mid-run. It can only recover through
+  // SNAPSHOT_REQUEST/RESPONSE state transfer, after which it applies in
+  // order and converges to the same store digest as everyone else.
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  ThreadedSmrClusterOptions options;
+  options.smr.max_batch = 1;          // one slot per command: many slots
+  options.smr.pipeline_depth = 4;
+  options.smr.target_commands = 0;    // keep slots (and gossip) flowing
+  options.smr.snapshot_interval = 8;
+  options.smr.snapshot_chunk_bytes = 128;  // force multi-chunk transfers
+  ThreadedSmrCluster cluster(cfg, options);
+  for (std::uint64_t i = 1; i <= 60; ++i) cluster.submit(cmd(i));
+  cluster.start();
+
+  ASSERT_TRUE(cluster.wait_applied(20, 60s));
+  cluster.crash(3);
+  Slot crash_slot = cluster.applied_slots(3).empty()
+                        ? 1
+                        : cluster.applied_slots(3).back();
+
+  // Survivors work well past the crash point — and past several snapshot
+  // boundaries — while p3 is down.
+  for (std::uint64_t i = 61; i <= 120; ++i) cluster.submit(cmd(i), 0);
+  ASSERT_TRUE(cluster.wait_applied(100, 120s));
+
+  cluster.restart(3);
+  ASSERT_TRUE(cluster.wait_applied(120, 120s))
+      << "the rejoined replica must catch back up to the whole log";
+
+  // A snapshot alone can satisfy the command count; keep feeding commands
+  // until p3 demonstrably applies slots LIVE (post-install) too.
+  std::uint64_t next_cmd = 121;
+  for (int round = 0;
+       round < 1200 && cluster.applied_slots(3).size() < 5; ++round) {
+    cluster.submit(cmd(next_cmd++), /*gateway=*/0);
+    std::this_thread::sleep_for(25ms);
+  }
+  ASSERT_GE(cluster.applied_slots(3).size(), 5u)
+      << "the rejoined replica never resumed applying live slots";
+  ASSERT_TRUE(cluster.wait_applied(next_cmd - 1, 120s));
+  cluster.stop();
+
+  // Recovery went through a snapshot install, not slot-by-slot replay.
+  EXPECT_GE(cluster.snapshots_installed(3), 1u);
+  EXPECT_GE(cluster.node(3).engine().snapshots_installed(), 1u);
+
+  // The fresh incarnation's applies start past the snapshot boundary and
+  // run strictly in order (jumps only ever forward, at installs).
+  const auto slots = cluster.applied_slots(3);
+  ASSERT_FALSE(slots.empty());
+  EXPECT_GT(slots.front(), 1u) << "a rejoiner must not re-apply from slot 1";
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    ASSERT_GT(slots[i], slots[i - 1]) << "p3 applied out of order";
+  }
+
+  // All four replicas — including the rejoined one — agree byte-for-byte.
+  EXPECT_TRUE(cluster.correct_stores_agree());
+  EXPECT_EQ(cluster.node(3).store().get("key100"), "val100");
+
+  // Retention unpinned: the survivors pruned decided values past p3's
+  // crash point while it was down, instead of retaining every decision
+  // from the crash onward.
+  for (ProcessId id = 0; id < 3; ++id) {
+    const auto& catchup = cluster.node(id).engine().catchup();
+    EXPECT_GT(catchup.prune_floor(), crash_slot) << "p" << id;
+    EXPECT_LT(catchup.decided_count(),
+              static_cast<std::size_t>(
+                  cluster.node(id).engine().highest_started()))
+        << "p" << id;
   }
 }
 
