@@ -70,6 +70,23 @@ void BM_EncodeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeBatch);
 
+void BM_DecodeBatch(benchmark::State& state) {
+  // Exercises the nested zero-copy decode: batch -> per-command views.
+  std::vector<smr::Command> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(smr::Command::put("key" + std::to_string(i),
+                                      "value" + std::to_string(i), 1,
+                                      static_cast<std::uint64_t>(i)));
+  }
+  Value wire = smr::encode_batch(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smr::decode_batch(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodeBatch);
+
 void BM_ValidateVoteRecord(benchmark::State& state) {
   auto keys = bench_keys();
   auto cfg = QuorumConfig::create(7, 2, 1);

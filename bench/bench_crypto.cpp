@@ -53,6 +53,37 @@ void BM_Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Verify);
 
+void BM_VerifyDigest(benchmark::State& state) {
+  // The hot-path form: the message was hashed once and the digest is
+  // shared across signers — each check is a short constant-size MAC.
+  auto keys = std::make_shared<const KeyStore>(1, 4);
+  Signer signer(keys, 0);
+  Verifier verifier(keys);
+  Bytes msg(1024, 0x22);
+  Digest digest = message_digest(msg);
+  Signature sig = signer.sign_digest("propose", digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verifier.verify_digest(0, "propose", digest, sig));
+  }
+}
+BENCHMARK(BM_VerifyDigest);
+
+void BM_VerifyDigestMemoHit(benchmark::State& state) {
+  auto keys = std::make_shared<const KeyStore>(1, 4);
+  Signer signer(keys, 0);
+  Verifier verifier(keys, std::make_shared<VerificationCache>());
+  Bytes msg(1024, 0x22);
+  Digest digest = message_digest(msg);
+  Signature sig = signer.sign_digest("propose", digest);
+  verifier.verify_digest_memo(0, "propose", digest, sig);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verifier.verify_digest_memo(0, "propose", digest, sig));
+  }
+}
+BENCHMARK(BM_VerifyDigestMemoHit);
+
 void BM_VerifyProgressCert(benchmark::State& state) {
   // Certificate verification cost by f (f+1 signature checks).
   const auto f = static_cast<std::uint32_t>(state.range(0));
@@ -94,6 +125,30 @@ void BM_VerifyCommitCert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VerifyCommitCert)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_VerifyCommitCertMemoHit(benchmark::State& state) {
+  // Steady-state cost of re-verifying a certificate whose signatures were
+  // all seen before (the engine wiring: one cache per node).
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  auto cfg = consensus::QuorumConfig::create(
+      consensus::QuorumConfig::min_processes(f, f), f, f);
+  auto keys = std::make_shared<const KeyStore>(1, cfg.n);
+  Verifier verifier(keys, std::make_shared<VerificationCache>());
+  Value x = Value::of_string("value");
+  consensus::CommitCert cc;
+  cc.x = x;
+  cc.v = 5;
+  for (ProcessId p = 0; p < cfg.commit_quorum(); ++p) {
+    cc.sigs.push_back(consensus::SignatureEntry{
+        p, Signer(keys, p).sign(consensus::kDomAck,
+                                consensus::ack_preimage(x, 5))});
+  }
+  consensus::verify_commit_cert(verifier, cfg, cc);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consensus::verify_commit_cert(verifier, cfg, cc));
+  }
+}
+BENCHMARK(BM_VerifyCommitCertMemoHit)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace fastbft::crypto

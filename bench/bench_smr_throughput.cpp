@@ -1,6 +1,11 @@
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "net/stats.hpp"
 #include "runtime/threaded_smr_cluster.hpp"
 #include "smr/client.hpp"
 #include "smr/smr_node.hpp"
@@ -28,12 +33,58 @@
 namespace fastbft::smr {
 namespace {
 
+/// Machine-readable record sink: every experiment row is also appended to
+/// a JSON array (BENCH_smr.json) so the perf trajectory is tracked in the
+/// repo and CI can diff runs against the committed baseline.
+class BenchRecorder {
+ public:
+  /// `config` is a JSON object fragment like "\"n\":4,\"depth\":8".
+  /// Rates that do not apply to an experiment are recorded as 0.
+  void add(const char* experiment, const std::string& config,
+           double cmds_per_sec, double cmds_per_kdelta, double wall_ms,
+           std::uint64_t messages, std::uint64_t bytes, std::uint64_t allocs,
+           std::uint64_t alloc_bytes) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"experiment\": \"%s\", \"config\": {%s}, "
+                  "\"cmds_per_sec\": %.1f, \"cmds_per_kdelta\": %.1f, "
+                  "\"wall_ms\": %.2f, \"messages\": %llu, \"bytes\": %llu, "
+                  "\"allocs\": %llu, \"alloc_bytes\": %llu}",
+                  experiment, config.c_str(), cmds_per_sec, cmds_per_kdelta,
+                  wall_ms, static_cast<unsigned long long>(messages),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(allocs),
+                  static_cast<unsigned long long>(alloc_bytes));
+    records_.emplace_back(buf);
+  }
+
+  bool write(const std::string& path, const std::string& label) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"schema\": \"fastbft-bench-smr-v1\",\n  \"run\": \""
+        << label << "\",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::string> records_;
+};
+
+BenchRecorder g_recorder;
+
 struct ThroughputResult {
   double commands_per_kdelta = 0;
   Slot slots_used = 0;
   std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
   double ticks_per_command = 0;
   std::uint32_t max_inflight_slots = 0;
+  std::uint64_t payload_allocs = 0;
+  std::uint64_t payload_alloc_bytes = 0;
 };
 
 ThroughputResult run_throughput(consensus::QuorumConfig cfg,
@@ -60,6 +111,8 @@ ThroughputResult run_throughput(consensus::QuorumConfig cfg,
     return node;
   };
 
+  std::uint64_t allocs_before = net::PayloadStats::allocs();
+  std::uint64_t alloc_bytes_before = net::PayloadStats::alloc_bytes();
   runtime::Cluster cluster(options,
                            std::vector<Value>(cfg.n, Value::of_string("x")));
   cluster.start();
@@ -93,8 +146,26 @@ ThroughputResult run_throughput(consensus::QuorumConfig cfg,
   }
   result.slots_used = nodes[0]->current_slot();
   result.messages = cluster.network().stats().total_messages();
+  result.bytes = cluster.network().stats().total_bytes();
   result.max_inflight_slots = cluster.network().stats().max_inflight_slots();
+  result.payload_allocs = net::PayloadStats::allocs() - allocs_before;
+  result.payload_alloc_bytes =
+      net::PayloadStats::alloc_bytes() - alloc_bytes_before;
   return result;
+}
+
+std::string config_json(std::uint32_t n, std::uint32_t f, std::uint32_t t,
+                        std::uint32_t batch, std::uint32_t depth,
+                        std::uint64_t commands,
+                        std::int64_t link_delay_us = -1) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"n\": %u, \"f\": %u, \"t\": %u, \"batch\": %u, "
+                "\"depth\": %u, \"commands\": %llu, \"link_delay_us\": %lld",
+                n, f, t, batch, depth,
+                static_cast<unsigned long long>(commands),
+                static_cast<long long>(link_delay_us));
+  return buf;
 }
 
 void pipeline_sweep() {
@@ -113,6 +184,9 @@ void pipeline_sweep() {
                 static_cast<unsigned long long>(r.slots_used),
                 static_cast<unsigned long long>(r.messages),
                 r.ticks_per_command / 100.0, r.max_inflight_slots);
+    g_recorder.add("E8g", config_json(4, 1, 1, 8, depth, 400), 0,
+                   r.commands_per_kdelta, 0, r.messages, r.bytes,
+                   r.payload_allocs, r.payload_alloc_bytes);
   }
   std::printf("(depth 1 is the pre-engine sequential control: %.1f "
               "cmds/1000delta; deeper windows overlap the 2-step fast "
@@ -132,6 +206,9 @@ void batch_sweep() {
                 static_cast<unsigned long long>(r.slots_used),
                 static_cast<unsigned long long>(r.messages),
                 r.ticks_per_command / 100.0);
+    g_recorder.add("E8d", config_json(4, 1, 1, batch, 1, 200), 0,
+                   r.commands_per_kdelta, 0, r.messages, r.bytes,
+                   r.payload_allocs, r.payload_alloc_bytes);
   }
 }
 
@@ -159,6 +236,8 @@ void wall_clock_pipeline_sweep() {
       cluster.submit(Command::put("key" + std::to_string(i % 64),
                                   "value-" + std::to_string(i), 1, i));
     }
+    std::uint64_t allocs_before = net::PayloadStats::allocs();
+    std::uint64_t alloc_bytes_before = net::PayloadStats::alloc_bytes();
     auto begin = steady_clock::now();
     cluster.start();
     bool done = cluster.wait_applied(kCommands, seconds(60));
@@ -178,6 +257,13 @@ void wall_clock_pipeline_sweep() {
                 static_cast<unsigned long long>(
                     cluster.delivered_messages()),
                 baseline_ms > 0 ? baseline_ms / ms : 0.0);
+    g_recorder.add(
+        "E9",
+        config_json(4, 1, 1, 8, depth, kCommands, kLinkDelay.count()),
+        static_cast<double>(kCommands) / (ms / 1000.0), 0, ms,
+        cluster.delivered_messages(), 0,
+        net::PayloadStats::allocs() - allocs_before,
+        net::PayloadStats::alloc_bytes() - alloc_bytes_before);
   }
   std::printf("(same engine code as E8g, hosted on OS threads via "
               "engine::ThreadedHost; depth > 1 overlaps real message "
@@ -256,6 +342,14 @@ void snapshot_recovery_sweep() {
                 static_cast<unsigned long long>(installs), retained_max,
                 static_cast<unsigned long long>(
                     cluster.node(0).engine().catchup().prune_floor()));
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  "\"interval\": %llu, \"recovered\": %s, "
+                  "\"rejoin_ms\": %.1f, \"retained_max\": %zu",
+                  static_cast<unsigned long long>(interval),
+                  recovered ? "true" : "false", recovered ? rejoin_ms : -1.0,
+                  retained_max);
+    g_recorder.add("E10", extra, 0, 0, 0, 0, 0, 0, 0);
   }
   std::printf("(interval 0 = snapshots off: the crashed replica's frozen "
               "watermark pins retention at its crash slot and a fresh "
@@ -338,14 +432,53 @@ void client_latency() {
 }  // namespace
 }  // namespace fastbft::smr
 
-int main() {
+int main(int argc, char** argv) {
+  // --only E9[,E8g,...] runs a subset (CI's perf smoke runs just E9);
+  // --json PATH writes the machine-readable records (the default is
+  // deliberately NOT the committed BENCH_smr.json, so a routine local run
+  // cannot clobber the tracked baseline); --label NAME tags the run.
+  std::string only;
+  std::string json_path = "bench_smr_out.json";
+  std::string label = "local";
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--only") == 0) {
+      only = need_value("--only");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = need_value("--json");
+    } else if (std::strcmp(argv[i], "--label") == 0) {
+      label = need_value("--label");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--only E8d,E8g,E9,E10,E8e,E8f] "
+                   "[--json PATH] [--label NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  auto selected = [&](const char* experiment) {
+    return only.empty() || only.find(experiment) != std::string::npos;
+  };
+
   std::printf("bench_smr_throughput: experiment E8d/E8e — replicated KV "
               "store throughput\n");
-  fastbft::smr::batch_sweep();
-  fastbft::smr::pipeline_sweep();
-  fastbft::smr::wall_clock_pipeline_sweep();
-  fastbft::smr::snapshot_recovery_sweep();
-  fastbft::smr::cluster_size_sweep();
-  fastbft::smr::client_latency();
+  if (selected("E8d")) fastbft::smr::batch_sweep();
+  if (selected("E8g")) fastbft::smr::pipeline_sweep();
+  if (selected("E9")) fastbft::smr::wall_clock_pipeline_sweep();
+  if (selected("E10")) fastbft::smr::snapshot_recovery_sweep();
+  if (selected("E8e")) fastbft::smr::cluster_size_sweep();
+  if (selected("E8f")) fastbft::smr::client_latency();
+
+  if (!fastbft::smr::g_recorder.write(json_path, label)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\n[bench json written to %s]\n", json_path.c_str());
   return 0;
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_smr_throughput JSON run against the committed
+baseline (BENCH_smr.json) and fail on large regressions.
+
+Usage: perf_check.py BASELINE.json CURRENT.json... [--max-regression 0.30]
+
+The reference metric is the E9 (threaded, wall-clock) cmds_per_sec at the
+deepest pipeline depth present in both files. The committed file may hold
+several runs ({"runs": [...]}); the LAST run is the reference. A single-run
+file ({"records": [...]}) is accepted for any argument. Several CURRENT
+files may be passed (repeated measurements); the BEST of them counts, so
+one noisy-neighbor run cannot fail the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "records" in doc:
+        return doc.get("run", path), doc["records"]
+    if "runs" in doc and doc["runs"]:
+        last = doc["runs"][-1]
+        return last.get("run", path), last["records"]
+    raise SystemExit(f"{path}: no records found")
+
+
+def e9_by_depth(records):
+    out = {}
+    for r in records:
+        if r.get("experiment") != "E9":
+            continue
+        depth = r.get("config", {}).get("depth")
+        cps = r.get("cmds_per_sec", 0)
+        if depth is not None and cps > 0:
+            out[depth] = cps
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="+")
+    ap.add_argument("--max-regression", type=float, default=0.30)
+    args = ap.parse_args()
+
+    base_label, base_records = load_records(args.baseline)
+    base = e9_by_depth(base_records)
+
+    best = {}  # depth -> (cmds_per_sec, label)
+    for path in args.current:
+        cur_label, cur_records = load_records(path)
+        for depth, cps in e9_by_depth(cur_records).items():
+            if depth not in best or cps > best[depth][0]:
+                best[depth] = (cps, cur_label)
+
+    common = sorted(set(base) & set(best))
+    if not common:
+        raise SystemExit("no common E9 depths between baseline and current")
+
+    depth = common[-1]
+    ref = base[depth]
+    now, cur_label = best[depth]
+    ratio = now / ref
+    print(f"E9 depth {depth}: baseline({base_label}) = {ref:.0f} cmds/s, "
+          f"best current({cur_label}) of {len(args.current)} run(s) = "
+          f"{now:.0f} cmds/s, ratio = {ratio:.2f}")
+    if ratio < 1.0 - args.max_regression:
+        print(f"FAIL: regression beyond {args.max_regression:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

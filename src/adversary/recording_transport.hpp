@@ -16,7 +16,7 @@ class RecordingTransport final : public net::Transport {
  public:
   RecordingTransport(ProcessId self, std::uint32_t n) : self_(self), n_(n) {}
 
-  void send(ProcessId to, Bytes payload) override {
+  void send(ProcessId to, SharedBytes payload) override {
     outbox_.push_back(net::Envelope{self_, to, std::move(payload)});
   }
 

@@ -1,8 +1,43 @@
 #include "common/bytes.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace fastbft {
+
+namespace {
+std::atomic<std::uint64_t> g_payload_allocs{0};
+std::atomic<std::uint64_t> g_payload_alloc_bytes{0};
+}  // namespace
+
+void PayloadStats::record_alloc(std::size_t bytes) {
+  g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_payload_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadStats::allocs() {
+  return g_payload_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadStats::alloc_bytes() {
+  return g_payload_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+void PayloadStats::reset() {
+  g_payload_allocs.store(0, std::memory_order_relaxed);
+  g_payload_alloc_bytes.store(0, std::memory_order_relaxed);
+}
+
+SharedBytes::SharedBytes(Bytes bytes)
+    : ptr_(std::make_shared<const Bytes>(std::move(bytes))) {
+  PayloadStats::record_alloc(ptr_->size());
+}
+
+const std::shared_ptr<const Bytes>& SharedBytes::empty_buffer() {
+  static const std::shared_ptr<const Bytes> empty =
+      std::make_shared<const Bytes>();
+  return empty;
+}
 
 Bytes to_bytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
@@ -19,20 +54,18 @@ int hex_value(char c) {
 }
 }  // namespace
 
-std::string to_hex(const Bytes& data) {
-  std::string out;
-  out.reserve(data.size() * 2);
-  for (std::uint8_t b : data) {
-    out.push_back(kHexDigits[b >> 4]);
-    out.push_back(kHexDigits[b & 0x0f]);
+std::string to_hex(ByteView data) {
+  std::string out(data.size() * 2, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i * 2] = kHexDigits[data[i] >> 4];
+    out[i * 2 + 1] = kHexDigits[data[i] & 0x0f];
   }
   return out;
 }
 
-std::string to_hex_prefix(const Bytes& data, std::size_t max_bytes) {
+std::string to_hex_prefix(ByteView data, std::size_t max_bytes) {
   if (data.size() <= max_bytes) return to_hex(data);
-  Bytes prefix(data.begin(), data.begin() + static_cast<long>(max_bytes));
-  return to_hex(prefix) + "..";
+  return to_hex(data.sub(0, max_bytes)) + "..";
 }
 
 Bytes from_hex(std::string_view hex) {
@@ -48,7 +81,7 @@ Bytes from_hex(std::string_view hex) {
   return out;
 }
 
-bool bytes_equal(const Bytes& a, const Bytes& b) {
+bool bytes_equal(ByteView a, ByteView b) {
   if (a.size() != b.size()) return false;
   unsigned diff = 0;
   for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
@@ -56,17 +89,24 @@ bool bytes_equal(const Bytes& a, const Bytes& b) {
 }
 
 std::vector<Bytes> split_chunks(const Bytes& data, std::size_t chunk_size) {
-  if (chunk_size == 0) chunk_size = 1;
+  std::vector<ByteView> views = split_chunk_views(data, chunk_size);
   std::vector<Bytes> chunks;
+  chunks.reserve(views.size());
+  for (ByteView v : views) chunks.push_back(v.to_bytes());
+  return chunks;
+}
+
+std::vector<ByteView> split_chunk_views(ByteView data,
+                                        std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::vector<ByteView> chunks;
   if (data.empty()) {
     chunks.emplace_back();
     return chunks;
   }
   chunks.reserve((data.size() + chunk_size - 1) / chunk_size);
   for (std::size_t offset = 0; offset < data.size(); offset += chunk_size) {
-    std::size_t end = std::min(offset + chunk_size, data.size());
-    chunks.emplace_back(data.begin() + static_cast<long>(offset),
-                        data.begin() + static_cast<long>(end));
+    chunks.push_back(data.sub(offset, chunk_size));
   }
   return chunks;
 }

@@ -1,6 +1,42 @@
 #include "common/codec.hpp"
 
+#include <vector>
+
 namespace fastbft {
+
+namespace {
+
+/// Thread-local free list of scratch buffers. Buffers come back cleared but
+/// with their capacity intact, so steady-state scratch encodes never touch
+/// the allocator. Bounded so a one-off giant encode cannot pin memory.
+constexpr std::size_t kMaxPooledBuffers = 8;
+constexpr std::size_t kMaxPooledCapacity = 64 * 1024;
+
+thread_local std::vector<Bytes> scratch_pool;
+
+Bytes pool_acquire() {
+  if (scratch_pool.empty()) return Bytes();
+  Bytes buf = std::move(scratch_pool.back());
+  scratch_pool.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void pool_release(Bytes buf) {
+  if (buf.capacity() == 0 || buf.capacity() > kMaxPooledCapacity) return;
+  if (scratch_pool.size() >= kMaxPooledBuffers) return;
+  scratch_pool.push_back(std::move(buf));
+}
+
+}  // namespace
+
+Encoder::Encoder(ScratchTag) : buf_(pool_acquire()), pooled_(true) {}
+
+Encoder Encoder::scratch() { return Encoder(ScratchTag{}); }
+
+Encoder::~Encoder() {
+  if (pooled_) pool_release(std::move(buf_));
+}
 
 void Encoder::u16(std::uint16_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -21,7 +57,7 @@ void Encoder::u64(std::uint64_t v) {
   }
 }
 
-void Encoder::bytes(const Bytes& b) {
+void Encoder::bytes(ByteView b) {
   u32(static_cast<std::uint32_t>(b.size()));
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
@@ -31,7 +67,7 @@ void Encoder::str(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
-void Encoder::raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+void Encoder::raw(ByteView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
 bool Decoder::ensure(std::size_t count) {
   if (!ok_) return false;
@@ -71,17 +107,16 @@ std::uint64_t Decoder::u64() {
   return v;
 }
 
-Bytes Decoder::bytes() {
+ByteView Decoder::bytes_view() {
   std::uint32_t len = u32();
   if (!ensure(len)) return {};
-  Bytes out(data_.begin() + static_cast<long>(pos_),
-            data_.begin() + static_cast<long>(pos_ + len));
+  ByteView out = data_.sub(pos_, len);
   pos_ += len;
   return out;
 }
 
 std::string Decoder::str() {
-  Bytes b = bytes();
+  ByteView b = bytes_view();
   return std::string(b.begin(), b.end());
 }
 

@@ -16,12 +16,39 @@
 /// Wire format: fixed-width little-endian integers; byte strings and lists
 /// are length-prefixed with u32. There is no versioning — the codec is
 /// internal to the library.
+///
+/// Hot-path notes: the Decoder reads over a non-owning ByteView, and
+/// `bytes_view()` returns length-prefixed fields without copying, so nested
+/// decodes (envelope -> wrapped SMR message -> command batch) alias one
+/// buffer. The Encoder supports `reserve()` and a thread-local scratch pool
+/// (`Encoder::scratch()`) for short-lived encodes — signing preimages,
+/// digest computations — whose buffer capacity is recycled instead of
+/// reallocated per call.
 
 namespace fastbft {
 
 class Encoder {
  public:
   Encoder() = default;
+
+  /// Preallocates the backing buffer (on top of whatever capacity a pooled
+  /// buffer already carries).
+  explicit Encoder(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  /// An encoder backed by a thread-local pooled buffer: the buffer's
+  /// capacity returns to the pool on destruction unless `take()`n. Use for
+  /// scratch encodes that are hashed/measured and dropped.
+  static Encoder scratch();
+
+  ~Encoder();
+
+  Encoder(Encoder&& other) noexcept
+      : buf_(std::move(other.buf_)), pooled_(other.pooled_) {
+    other.pooled_ = false;
+  }
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+  Encoder& operator=(Encoder&&) = delete;
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
@@ -30,32 +57,53 @@ class Encoder {
   void boolean(bool v) { u8(v ? 1 : 0); }
 
   /// Length-prefixed byte string.
-  void bytes(const Bytes& b);
+  void bytes(ByteView b);
+  void bytes(const Bytes& b) { bytes(ByteView(b)); }
 
   /// Length-prefixed UTF-8 string.
   void str(std::string_view s);
 
   /// Raw append without a length prefix (used for domain-separation tags).
-  void raw(const Bytes& b);
+  void raw(ByteView b);
+  void raw(const Bytes& b) { raw(ByteView(b)); }
+
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
+  /// Drops the contents but keeps the capacity — lets one (scratch)
+  /// encoder be reused across loop iterations without reallocating.
+  void clear() { buf_.clear(); }
 
   const Bytes& data() const& { return buf_; }
-  Bytes take() && { return std::move(buf_); }
+  ByteView view() const { return ByteView(buf_); }
+  Bytes take() && {
+    pooled_ = false;  // the capacity leaves with the caller
+    return std::move(buf_);
+  }
   std::size_t size() const { return buf_.size(); }
 
  private:
+  struct ScratchTag {};
+  explicit Encoder(ScratchTag);
+
   Bytes buf_;
+  bool pooled_ = false;
 };
 
-/// Pull-based decoder. Every accessor checks bounds; after the first
-/// failure `ok()` turns false and all further reads return zero values.
-/// Callers must check `ok()` (and typically `at_end()`) after decoding.
+/// Pull-based decoder over a non-owning view. Every accessor checks bounds;
+/// after the first failure `ok()` turns false and all further reads return
+/// zero values. Callers must check `ok()` (and typically `at_end()`) after
+/// decoding, and must keep the viewed buffer alive for the decoder's
+/// lifetime (plus the lifetime of any `bytes_view()` result).
 class Decoder {
  public:
-  explicit Decoder(const Bytes& data) : data_(data) {}
+  explicit Decoder(ByteView data) : data_(data) {}
 
   /// The decoder only borrows its input; binding it to a temporary would
-  /// leave `data_` dangling after the full expression. Callers must keep
-  /// the buffer alive for the decoder's lifetime.
+  /// leave the view dangling after the full expression. Callers must keep
+  /// the buffer alive for the decoder's lifetime. (Viewing a temporary is
+  /// legal in a single call expression — hash it, compare it — so
+  /// ByteView itself accepts temporaries; it is RETAINING consumers like
+  /// this one that must delete their rvalue overloads.)
   explicit Decoder(Bytes&&) = delete;
 
   std::uint8_t u8();
@@ -63,7 +111,14 @@ class Decoder {
   std::uint32_t u32();
   std::uint64_t u64();
   bool boolean() { return u8() != 0; }
-  Bytes bytes();
+
+  /// Length-prefixed byte string, zero-copy: the view aliases the decoder's
+  /// input buffer.
+  ByteView bytes_view();
+
+  /// Length-prefixed byte string, copied out (for fields that are stored).
+  Bytes bytes() { return bytes_view().to_bytes(); }
+
   std::string str();
 
   bool ok() const { return ok_; }
@@ -77,7 +132,7 @@ class Decoder {
  private:
   bool ensure(std::size_t count);
 
-  const Bytes& data_;
+  ByteView data_;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };
@@ -93,8 +148,9 @@ Bytes encode_to_bytes(const T& value) {
 
 /// Convenience: decode an object with a static
 /// `static std::optional<T> decode(Decoder&)`, requiring full consumption.
+/// Accepts any live buffer via ByteView (Bytes converts implicitly).
 template <typename T>
-std::optional<T> decode_from_bytes(const Bytes& data) {
+std::optional<T> decode_from_bytes(ByteView data) {
   Decoder dec(data);
   auto v = T::decode(dec);
   if (!v.has_value() || !dec.ok() || !dec.at_end()) return std::nullopt;

@@ -4,7 +4,8 @@ namespace fastbft::consensus {
 
 namespace {
 
-Bytes with_tag(std::uint8_t tag, const std::function<void(Encoder&)>& body) {
+template <typename Body>
+Bytes with_tag(std::uint8_t tag, const Body& body) {
   Encoder enc;
   enc.u8(tag);
   body(enc);
@@ -82,10 +83,14 @@ std::optional<AckSigMsg> AckSigMsg::decode(Decoder& dec) {
 // --- CommitMsg --------------------------------------------------------------
 
 Bytes CommitMsg::serialize() const {
+  // Wire compaction: a Commit is only meaningful when cc certifies exactly
+  // (x, v) — the receiver rejects mismatches — so the certificate's own
+  // (x, v) copy is elided on the wire and reconstructed on decode. This
+  // halves the largest steady-state message (the value dominates).
   return with_tag(net::tags::kCommit, [&](Encoder& enc) {
     enc.u64(v);
     x.encode(enc);
-    cc.encode(enc);
+    cc.encode_sigs_only(enc);
   });
 }
 
@@ -95,7 +100,7 @@ std::optional<CommitMsg> CommitMsg::decode(Decoder& dec) {
   auto x = Value::decode(dec);
   if (!x) return std::nullopt;
   m.x = std::move(*x);
-  auto cc = CommitCert::decode(dec);
+  auto cc = CommitCert::decode_sigs_only(dec, m.x, m.v);
   if (!cc) return std::nullopt;
   m.cc = std::move(*cc);
   return m;
@@ -180,7 +185,7 @@ std::optional<Message> finish(Decoder& dec) {
 }
 }  // namespace
 
-std::optional<Message> parse_message(const Bytes& payload) {
+std::optional<Message> parse_message(ByteView payload) {
   if (payload.empty()) return std::nullopt;
   Decoder dec(payload);
   std::uint8_t tag = dec.u8();

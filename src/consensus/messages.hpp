@@ -23,6 +23,7 @@ struct ProposeMsg {
 
   Bytes serialize() const;
   static std::optional<ProposeMsg> decode(Decoder& dec);
+  friend bool operator==(const ProposeMsg&, const ProposeMsg&) = default;
 };
 
 /// ack(x, v) — unsigned acknowledgment broadcast on accepting a proposal.
@@ -91,8 +92,9 @@ using Message = std::variant<ProposeMsg, AckMsg, AckSigMsg, CommitMsg, VoteMsg,
                              CertReqMsg, CertAckMsg>;
 
 /// Parses a full payload (tag + body). Returns nullopt for unknown tags,
-/// truncated or trailing bytes.
-std::optional<Message> parse_message(const Bytes& payload);
+/// truncated or trailing bytes. Takes a view so wrapped/nested payloads
+/// parse without being copied out first; the result owns its fields.
+std::optional<Message> parse_message(ByteView payload);
 
 /// View number of any protocol message (used for buffering).
 View message_view(const Message& msg);

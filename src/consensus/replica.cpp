@@ -35,7 +35,7 @@ void Replica::start() {
   }
 }
 
-void Replica::on_message(ProcessId from, const Bytes& payload) {
+void Replica::on_message(ProcessId from, ByteView payload) {
   auto parsed = parse_message(payload);
   if (!parsed) {
     log_debug(who(id_), "dropping malformed payload");
@@ -46,7 +46,7 @@ void Replica::on_message(ProcessId from, const Bytes& payload) {
 }
 
 bool Replica::buffer_if_future(ProcessId from, const Message& msg,
-                               const Bytes& payload) {
+                               ByteView payload) {
   // Acks, signed acks and Commits are decision evidence: they remain
   // meaningful for views we already left or have not reached, so they are
   // never buffered. Everything else is view-scoped.
@@ -71,7 +71,7 @@ bool Replica::buffer_if_future(ProcessId from, const Message& msg,
       future_buffer_.erase(std::prev(future_buffer_.end()));
     }
   }
-  future_buffer_[v].emplace_back(from, payload);
+  future_buffer_[v].emplace_back(from, payload.to_bytes());
   ++future_buffered_total_;
   return true;
 }
@@ -137,19 +137,29 @@ void Replica::send_vote_to(ProcessId leader, View v) {
   msg.record.voter = id_;
   msg.record.vote = vote_.value_or(Vote::nil());
   if (options_.slow_path && latest_cc_) msg.record.cc = latest_cc_;
-  msg.record.phi = signer_.sign(
-      kDomVote, vote_preimage(msg.record.vote, msg.record.cc, v));
+  Encoder preimage = Encoder::scratch();
+  vote_preimage(preimage, msg.record.vote, msg.record.cc, v);
+  msg.record.phi = signer_.sign(kDomVote, preimage.view());
   transport_.send(leader, msg.serialize());
 }
 
 // --- Fast path --------------------------------------------------------------
+
+const crypto::Digest& Replica::xv_digest(View v, const Value& x) {
+  if (!xv_digest_memo_ || xv_digest_memo_->first.first != v ||
+      xv_digest_memo_->first.second != x.bytes()) {
+    xv_digest_memo_.emplace(key_of(v, x), xv_preimage_digest(x, v));
+  }
+  return xv_digest_memo_->second;
+}
 
 void Replica::send_proposal(const Value& x, ProgressCert sigma) {
   ProposeMsg msg;
   msg.v = view_;
   msg.x = x;
   msg.sigma = std::move(sigma);
-  msg.tau = signer_.sign(kDomPropose, propose_preimage(x, view_));
+  msg.tau = signer_.sign_digest(kDomPropose, xv_digest(view_, x));
+  sent_proposal_ = msg;
   transport_.broadcast(msg.serialize());
 }
 
@@ -158,12 +168,18 @@ void Replica::handle_propose(ProcessId from, const ProposeMsg& msg) {
   if (from != leader_of_(msg.v)) return;
   if (proposal_accepted_.contains(msg.v)) return;
   if (msg.x.empty()) return;
-  if (!verifier_.verify(from, kDomPropose, propose_preimage(msg.x, msg.v),
-                        msg.tau)) {
-    return;
-  }
-  if (!verify_progress_cert(verifier_, cfg_, msg.x, msg.v, msg.sigma)) {
-    return;
+  // Our own broadcast looping back needs no re-verification — but only if
+  // it is bit-identical to what we actually sent (a memcmp, not an HMAC);
+  // anything else on the self channel takes the full verification path.
+  bool own_loopback = from == id_ && sent_proposal_ && msg == *sent_proposal_;
+  if (!own_loopback) {
+    if (!verifier_.verify_digest(from, kDomPropose, xv_digest(msg.v, msg.x),
+                                 msg.tau)) {
+      return;
+    }
+    if (!verify_progress_cert(verifier_, cfg_, msg.x, msg.v, msg.sigma)) {
+      return;
+    }
   }
 
   proposal_accepted_.insert(msg.v);
@@ -182,12 +198,21 @@ void Replica::handle_propose(ProcessId from, const ProposeMsg& msg) {
     AckSigMsg sig;
     sig.v = msg.v;
     sig.x = msg.x;
-    sig.phi_ack = signer_.sign(kDomAck, ack_preimage(msg.x, msg.v));
+    sig.phi_ack = signer_.sign_digest(kDomAck, xv_digest(msg.v, msg.x));
+    // Our own signature goes straight into the collection — the loopback
+    // copy is ignored in handle_ack_sig, so a forged self acksig can
+    // never displace the genuine one. Ours may be the signature that
+    // completes the commit quorum (peers' acksigs can arrive before a
+    // delayed proposal does), so check for assembly here too.
+    auto key = key_of(msg.v, msg.x);
+    ack_sigs_[key].emplace(id_, sig.phi_ack);
     transport_.broadcast(sig.serialize());
+    maybe_assemble_commit_cert(key);
   }
 }
 
 void Replica::handle_ack(ProcessId from, const AckMsg& msg) {
+  if (decision_) return;  // quorum bookkeeping is over
   if (msg.x.empty() || msg.v == kNoView) return;
   auto key = key_of(msg.v, msg.x);
   auto& ackers = acks_[key];
@@ -201,12 +226,24 @@ void Replica::handle_ack(ProcessId from, const AckMsg& msg) {
 
 void Replica::handle_ack_sig(ProcessId from, const AckSigMsg& msg) {
   if (!options_.slow_path) return;
+  // Our own signature was recorded at signing time (handle_propose); the
+  // loopback — or anything forged onto the self channel — is ignored.
+  // (Checked before building the value-sized map key: this exit is free.)
+  if (from == id_) return;
   if (msg.x.empty() || msg.v == kNoView) return;
-  if (!verifier_.verify(from, kDomAck, ack_preimage(msg.x, msg.v),
-                        msg.phi_ack)) {
+  auto key = key_of(msg.v, msg.x);
+  // Collection continues even after a fast-path decision — the commit
+  // certificate this assembles is broadcast exactly once and doubles as
+  // the catch-up stream that keeps lagging replicas at the live frontier
+  // (see SlotMux). But once OUR Commit went out, further signed acks for
+  // this (view, value) buy nothing: skip their HMACs. Peers' signatures
+  // check against the shared (x, v) digest, hashed once per proposal
+  // instead of once per message.
+  if (commit_sent_.contains(key)) return;
+  if (!verifier_.verify_digest(from, kDomAck, xv_digest(msg.v, msg.x),
+                               msg.phi_ack)) {
     return;
   }
-  auto key = key_of(msg.v, msg.x);
   ack_sigs_[key].emplace(from, msg.phi_ack);
   maybe_assemble_commit_cert(key);
 }
@@ -239,6 +276,7 @@ void Replica::adopt_cc(const CommitCert& cc) {
 
 void Replica::handle_commit(ProcessId from, const CommitMsg& msg) {
   if (!options_.slow_path) return;
+  if (decision_) return;  // see handle_ack_sig
   if (msg.cc.x != msg.x || msg.cc.v != msg.v) return;
   if (!verify_commit_cert(verifier_, cfg_, msg.cc)) return;
   adopt_cc(msg.cc);
@@ -333,7 +371,7 @@ void Replica::handle_cert_req(ProcessId from, const CertReqMsg& msg) {
   CertAckMsg ack;
   ack.v = msg.v;
   ack.x = msg.x;
-  ack.phi_ca = signer_.sign(kDomCertAck, certack_preimage(msg.x, msg.v));
+  ack.phi_ca = signer_.sign_digest(kDomCertAck, xv_digest(msg.v, msg.x));
   transport_.send(from, ack.serialize());
 }
 
@@ -342,8 +380,8 @@ void Replica::handle_cert_ack(ProcessId from, const CertAckMsg& msg) {
   LeaderState& st = *leader_state_;
   if (!st.cert_requested || st.proposed) return;
   if (msg.x != st.selected) return;
-  if (!verifier_.verify(from, kDomCertAck, certack_preimage(msg.x, msg.v),
-                        msg.phi_ca)) {
+  if (!verifier_.verify_digest(from, kDomCertAck, xv_digest(msg.v, msg.x),
+                               msg.phi_ca)) {
     return;
   }
   st.cert_acks.emplace(from, msg.phi_ca);

@@ -63,7 +63,9 @@ class Replica {
 
   /// Handles one wire message. `from` is the authenticated channel
   /// identity (the simulated network guarantees it, matching the model).
-  void on_message(ProcessId from, const Bytes& payload);
+  /// The payload is only viewed; it is copied iff it must be buffered for
+  /// a future view (the cold path).
+  void on_message(ProcessId from, ByteView payload);
 
   /// View-synchronizer notification. Views are monotone; stale calls are
   /// ignored.
@@ -121,8 +123,14 @@ class Replica {
   void maybe_assemble_commit_cert(const ValueKey& key);
   void adopt_cc(const CommitCert& cc);
 
-  bool buffer_if_future(ProcessId from, const Message& msg, const Bytes& payload);
+  bool buffer_if_future(ProcessId from, const Message& msg, ByteView payload);
   void replay_buffered();
+
+  /// One-slot memo of the shared (x, v) preimage digest: the proposal
+  /// check, our signed ack, every peer's signed ack and the certificate
+  /// entries for the accepted proposal all hash the same batch-sized
+  /// preimage — compute it once per (view, value) instead of per message.
+  const crypto::Digest& xv_digest(View v, const Value& x);
 
   static ValueKey key_of(View v, const Value& x) {
     return {v, x.bytes()};
@@ -159,6 +167,13 @@ class Replica {
   std::set<ValueKey> commit_sent_;
 
   std::optional<LeaderState> leader_state_;
+
+  /// Backing store of xv_digest().
+  std::optional<std::pair<ValueKey, crypto::Digest>> xv_digest_memo_;
+
+  /// The proposal we last broadcast as leader; its loopback is accepted by
+  /// bitwise equality instead of re-verification.
+  std::optional<ProposeMsg> sent_proposal_;
 
   /// Messages for views we have not entered yet, replayed on enter_view.
   std::map<View, std::vector<std::pair<ProcessId, Bytes>>> future_buffer_;

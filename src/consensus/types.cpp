@@ -46,15 +46,21 @@ std::optional<std::vector<SignatureEntry>> decode_entries(Decoder& dec) {
   return out;
 }
 
-/// Counts entries with distinct signers whose signature over `preimage`
-/// verifies under `domain`.
+/// Counts entries with distinct signers whose signature over the statement
+/// digested as `preimage_digest` verifies under `domain`. The preimage is
+/// hashed once by the caller and shared across every entry; verdicts are
+/// memoized because the same (signer, preimage, sig) entries recur across
+/// certificates (commit certs embed previously seen acksigs; CertReq
+/// replays the same vote records to 2f+1 validators).
 std::uint32_t count_valid_distinct(const crypto::Verifier& verifier,
                                    const std::vector<SignatureEntry>& entries,
-                                   const char* domain, const Bytes& preimage) {
+                                   const char* domain,
+                                   const crypto::Digest& preimage_digest) {
   std::set<ProcessId> seen;
   for (const auto& e : entries) {
     if (seen.contains(e.signer)) continue;
-    if (verifier.verify(e.signer, domain, preimage, e.sig)) {
+    if (verifier.verify_digest_memo(e.signer, domain, preimage_digest,
+                                    e.sig)) {
       seen.insert(e.signer);
     }
   }
@@ -66,7 +72,7 @@ std::uint32_t count_valid_distinct(const crypto::Verifier& verifier,
 // --- ProgressCert -----------------------------------------------------------
 
 std::size_t ProgressCert::size_bytes() const {
-  Encoder enc;
+  Encoder enc = Encoder::scratch();
   encode(enc);
   return enc.size();
 }
@@ -95,6 +101,21 @@ std::optional<CommitCert> CommitCert::decode(Decoder& dec) {
   cc.v = dec.u64();
   auto entries = decode_entries(dec);
   if (!entries) return std::nullopt;
+  cc.sigs = std::move(*entries);
+  return cc;
+}
+
+void CommitCert::encode_sigs_only(Encoder& enc) const {
+  encode_entries(enc, sigs);
+}
+
+std::optional<CommitCert> CommitCert::decode_sigs_only(Decoder& dec, Value x,
+                                                       View v) {
+  auto entries = decode_entries(dec);
+  if (!entries) return std::nullopt;
+  CommitCert cc;
+  cc.x = std::move(x);
+  cc.v = v;
   cc.sigs = std::move(*entries);
   return cc;
 }
@@ -160,10 +181,14 @@ std::optional<VoteRecord> VoteRecord::decode(Decoder& dec) {
 // --- Preimages --------------------------------------------------------------
 
 namespace {
-Bytes xv_preimage(const Value& x, View v) {
-  Encoder enc;
+void xv_preimage(Encoder& enc, const Value& x, View v) {
   x.encode(enc);
   enc.u64(v);
+}
+
+Bytes xv_preimage(const Value& x, View v) {
+  Encoder enc(x.size() + 12);
+  xv_preimage(enc, x, v);
   return std::move(enc).take();
 }
 }  // namespace
@@ -172,14 +197,25 @@ Bytes propose_preimage(const Value& x, View v) { return xv_preimage(x, v); }
 Bytes ack_preimage(const Value& x, View v) { return xv_preimage(x, v); }
 Bytes certack_preimage(const Value& x, View v) { return xv_preimage(x, v); }
 
-Bytes vote_preimage(const Vote& vote, const std::optional<CommitCert>& cc,
-                    View v) {
-  Encoder enc;
+void vote_preimage(Encoder& enc, const Vote& vote,
+                   const std::optional<CommitCert>& cc, View v) {
   vote.encode(enc);
   enc.boolean(cc.has_value());
   if (cc) cc->encode(enc);
   enc.u64(v);
+}
+
+Bytes vote_preimage(const Vote& vote, const std::optional<CommitCert>& cc,
+                    View v) {
+  Encoder enc;
+  vote_preimage(enc, vote, cc, v);
   return std::move(enc).take();
+}
+
+crypto::Digest xv_preimage_digest(const Value& x, View v) {
+  Encoder preimage = Encoder::scratch();
+  xv_preimage(preimage, x, v);
+  return crypto::message_digest(preimage.view());
 }
 
 // --- Verification -----------------------------------------------------------
@@ -188,16 +224,15 @@ bool verify_progress_cert(const crypto::Verifier& verifier,
                           const QuorumConfig& cfg, const Value& x, View v,
                           const ProgressCert& sigma) {
   if (v == 1) return sigma.empty();
-  Bytes preimage = certack_preimage(x, v);
-  return count_valid_distinct(verifier, sigma.acks, kDomCertAck, preimage) >=
-         cfg.cert_quorum();
+  return count_valid_distinct(verifier, sigma.acks, kDomCertAck,
+                              xv_preimage_digest(x, v)) >= cfg.cert_quorum();
 }
 
 bool verify_commit_cert(const crypto::Verifier& verifier,
                         const QuorumConfig& cfg, const CommitCert& cc) {
   if (cc.v == kNoView || cc.x.empty()) return false;
-  Bytes preimage = ack_preimage(cc.x, cc.v);
-  return count_valid_distinct(verifier, cc.sigs, kDomAck, preimage) >=
+  return count_valid_distinct(verifier, cc.sigs, kDomAck,
+                              xv_preimage_digest(cc.x, cc.v)) >=
          cfg.commit_quorum();
 }
 
@@ -205,16 +240,24 @@ bool validate_vote_record(const crypto::Verifier& verifier,
                           const QuorumConfig& cfg, const LeaderFn& leader_of,
                           const VoteRecord& record, View v) {
   if (record.voter >= cfg.n) return false;
-  if (!verifier.verify(record.voter, kDomVote,
-                       vote_preimage(record.vote, record.cc, v), record.phi)) {
-    return false;
+  {
+    // Memoized: the leader validates each vote on arrival and every
+    // CertReq receiver re-validates the same records.
+    Encoder preimage = Encoder::scratch();
+    vote_preimage(preimage, record.vote, record.cc, v);
+    if (!verifier.verify_digest_memo(record.voter, kDomVote,
+                                     crypto::message_digest(preimage.view()),
+                                     record.phi)) {
+      return false;
+    }
   }
   const Vote& vote = record.vote;
   if (!vote.is_nil) {
     if (vote.u < 1 || vote.u >= v) return false;
     if (vote.x.empty()) return false;
-    if (!verifier.verify(leader_of(vote.u), kDomPropose,
-                         propose_preimage(vote.x, vote.u), vote.tau)) {
+    if (!verifier.verify_digest_memo(leader_of(vote.u), kDomPropose,
+                                     xv_preimage_digest(vote.x, vote.u),
+                                     vote.tau)) {
       return false;
     }
     if (!verify_progress_cert(verifier, cfg, vote.x, vote.u, vote.sigma)) {

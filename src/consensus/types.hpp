@@ -61,6 +61,14 @@ struct CommitCert {
 
   void encode(Encoder& enc) const;
   static std::optional<CommitCert> decode(Decoder& dec);
+
+  /// Compact forms used by CommitMsg, whose surrounding message already
+  /// carries (x, v): only the signature entries go on the wire and the
+  /// decoder reinstates the context. Votes keep the self-contained form.
+  void encode_sigs_only(Encoder& enc) const;
+  static std::optional<CommitCert> decode_sigs_only(Decoder& dec, Value x,
+                                                    View v);
+
   friend bool operator==(const CommitCert&, const CommitCert&) = default;
 };
 
@@ -118,6 +126,20 @@ Bytes certack_preimage(const Value& x, View v);
 /// the destination view v so votes cannot be replayed across view changes.
 Bytes vote_preimage(const Vote& vote, const std::optional<CommitCert>& cc,
                     View v);
+
+/// In-place variant: appends the same canonical vote preimage to `enc`
+/// (usually a pooled Encoder::scratch()) instead of materializing a fresh
+/// buffer per sign/verify. The Bytes-returning form stays for callers
+/// that store the preimage.
+void vote_preimage(Encoder& enc, const Vote& vote,
+                   const std::optional<CommitCert>& cc, View v);
+
+/// Digest of the shared (x, v) preimage — propose, ack and certack
+/// statements all canonicalize to the same bytes (the domain string keeps
+/// their signatures apart), so ONE hash of the batch-sized value serves
+/// the proposal check, every signed ack and every certificate entry for
+/// that (x, v). The hot-path crypto lever; see crypto/signer.hpp.
+crypto::Digest xv_preimage_digest(const Value& x, View v);
 
 // --- Verification ----------------------------------------------------------
 

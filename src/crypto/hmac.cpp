@@ -4,30 +4,36 @@
 
 namespace fastbft::crypto {
 
-Digest hmac_sha256(const Bytes& key, const Bytes& message) {
-  constexpr std::size_t kBlockSize = 64;
-
-  Bytes k = key;
-  if (k.size() > kBlockSize) {
-    k = sha256_bytes(k);
+HmacSha256::HmacSha256(ByteView key) {
+  // Keys longer than one block are hashed down first (RFC 2104).
+  std::array<std::uint8_t, kBlockSize> block{};
+  if (key.size() > kBlockSize) {
+    Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
   }
-  k.resize(kBlockSize, 0);
 
-  Bytes ipad(kBlockSize), opad(kBlockSize);
+  std::array<std::uint8_t, kBlockSize> ipad;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+    ipad[i] = block[i] ^ 0x36;
+    opad_[i] = block[i] ^ 0x5c;
   }
+  inner_.update(ipad.data(), ipad.size());
+}
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  Digest inner_digest = inner.finalize();
-
+Digest HmacSha256::finalize() {
+  Digest inner_digest = inner_.finalize();
   Sha256 outer;
-  outer.update(opad);
+  outer.update(opad_.data(), opad_.size());
   outer.update(inner_digest.data(), inner_digest.size());
   return outer.finalize();
+}
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finalize();
 }
 
 Bytes derive_key(const Bytes& key, const std::string& label,
@@ -35,7 +41,7 @@ Bytes derive_key(const Bytes& key, const std::string& label,
   Encoder enc;
   enc.str(label);
   enc.u64(index);
-  Digest d = hmac_sha256(key, std::move(enc).take());
+  Digest d = hmac_sha256(key, enc.view());
   return Bytes(d.begin(), d.end());
 }
 

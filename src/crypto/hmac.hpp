@@ -8,8 +8,31 @@
 
 namespace fastbft::crypto {
 
+/// Streaming HMAC-SHA-256: the message is fed incrementally, so callers can
+/// MAC a multi-part preimage (domain tag, length prefixes, payload) without
+/// concatenating it into a temporary buffer first. One instance is
+/// single-use: construct, update*, finalize.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(const std::uint8_t* data, std::size_t len) {
+    inner_.update(data, len);
+  }
+  void update(ByteView data) { inner_.update(data); }
+  void update_u32(std::uint32_t v) { inner_.update_u32(v); }
+
+  Digest finalize();
+
+ private:
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256 inner_;
+  std::array<std::uint8_t, kBlockSize> opad_;
+};
+
 /// Computes HMAC-SHA-256(key, message).
-Digest hmac_sha256(const Bytes& key, const Bytes& message);
+Digest hmac_sha256(ByteView key, ByteView message);
 
 /// Derives a subkey: HMAC(key, label || u64(index)). Deterministic, so the
 /// whole cluster key material is reproducible from one master seed.

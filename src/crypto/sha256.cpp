@@ -124,13 +124,22 @@ Digest Sha256::finalize() {
   return digest;
 }
 
-Digest sha256(const Bytes& data) {
+void Sha256::update_u32(std::uint32_t v) {
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) {
+    le[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  update(le, 4);
+}
+
+Digest sha256(ByteView data) {
   Sha256 h;
   h.update(data);
   return h.finalize();
 }
 
-Bytes sha256_bytes(const Bytes& data) {
+Bytes sha256_bytes(ByteView data) {
   Digest d = sha256(data);
   return Bytes(d.begin(), d.end());
 }

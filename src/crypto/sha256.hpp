@@ -15,13 +15,20 @@ namespace fastbft::crypto {
 inline constexpr std::size_t kDigestSize = 32;
 using Digest = std::array<std::uint8_t, kDigestSize>;
 
-/// Incremental hasher; the usual init/update/final interface.
+/// Incremental hasher; the usual init/update/final interface. The
+/// streaming API is the zero-copy substrate: preimages are fed piecewise
+/// (domain, lengths, message) instead of being concatenated into
+/// temporaries first.
 class Sha256 {
  public:
   Sha256();
 
   void update(const std::uint8_t* data, std::size_t len);
-  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(ByteView data) { update(data.data(), data.size()); }
+
+  /// Little-endian u32, framed exactly like Encoder::u32 — lets streaming
+  /// preimage hashing reproduce the canonical length-prefixed encoding.
+  void update_u32(std::uint32_t v);
 
   /// Finalizes and returns the digest. The object must not be reused
   /// afterwards without `reset()`.
@@ -39,9 +46,9 @@ class Sha256 {
 };
 
 /// One-shot convenience.
-Digest sha256(const Bytes& data);
+Digest sha256(ByteView data);
 
 /// Digest as a Bytes buffer (handy for codec embedding).
-Bytes sha256_bytes(const Bytes& data);
+Bytes sha256_bytes(ByteView data);
 
 }  // namespace fastbft::crypto

@@ -1,0 +1,37 @@
+#include "crypto/verify_cache.hpp"
+
+namespace fastbft::crypto {
+
+std::optional<bool> VerificationCache::lookup(const VerifyKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void VerificationCache::insert(const VerifyKey& key, bool verdict) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = verdict;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, verdict);
+  map_.emplace(key, lru_.begin());
+}
+
+void VerificationCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace fastbft::crypto

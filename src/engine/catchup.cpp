@@ -162,14 +162,20 @@ std::vector<Bytes> CatchUpPolicy::snapshot_chunks() {
   // one bounded transfer per request message and no holder-side memory.
   ++snapshots_served_;
 
-  std::vector<Bytes> chunks = split_chunks(snap_body_, chunk_bytes_);
+  // Chunks are views over the one retained body: each response message is
+  // encoded straight from its slice, so a served snapshot is copied exactly
+  // once (into the wire messages) instead of once into a chunk vector and
+  // again into each message.
+  std::vector<ByteView> chunks =
+      split_chunk_views(ByteView(snap_body_), chunk_bytes_);
   std::vector<Bytes> messages;
   messages.reserve(chunks.size());
   for (std::uint32_t index = 0; index < chunks.size(); ++index) {
-    Encoder enc;
+    Encoder enc(1 + 8 + 4 + crypto::kDigestSize + 4 + 4 + 4 +
+                chunks[index].size());
     enc.u8(net::tags::kSmrSnapResponse);
     enc.u64(snap_below_);
-    enc.bytes(Bytes(snap_digest_.begin(), snap_digest_.end()));
+    enc.bytes(ByteView(snap_digest_.data(), snap_digest_.size()));
     enc.u32(index);
     enc.u32(static_cast<std::uint32_t>(chunks.size()));
     enc.bytes(chunks[index]);
@@ -233,6 +239,12 @@ CatchUpPolicy::add_snapshot_chunk(ProcessId from, Slot applied_below,
   for (auto& [sender, partial] : senders) {
     if (partial.failed || partial.chunks.size() != partial.count) continue;
     Bytes body;
+    std::size_t total = 0;
+    for (const auto& [i, piece] : partial.chunks) {
+      (void)i;
+      total += piece.size();
+    }
+    body.reserve(total);
     for (const auto& [i, piece] : partial.chunks) {
       (void)i;
       body.insert(body.end(), piece.begin(), piece.end());

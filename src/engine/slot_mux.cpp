@@ -15,8 +15,9 @@ namespace {
 /// cluster-wide minimum; `snap_floor` gossips the sender's latest snapshot
 /// boundary, so a peer whose apply cursor sits below it knows its missing
 /// slots may be pruned and full-state transfer is the way back.
-Bytes wrap(Slot slot, Slot watermark, Slot snap_floor, const Bytes& inner) {
-  Encoder enc;
+Bytes wrap(Slot slot, Slot watermark, Slot snap_floor, ByteView inner) {
+  // Exact wire size: tag + three u64 headers + length-prefixed inner.
+  Encoder enc(1 + 8 * 3 + 4 + inner.size());
   enc.u8(net::tags::kSmrWrapped);
   enc.u64(slot);
   enc.u64(watermark);
@@ -27,8 +28,16 @@ Bytes wrap(Slot slot, Slot watermark, Slot snap_floor, const Bytes& inner) {
 
 }  // namespace
 
-void SlotMux::SlotChannel::send(ProcessId to, Bytes payload) {
-  mux_.send_wrapped(slot_, to, std::move(payload));
+void SlotMux::SlotChannel::send(ProcessId to, SharedBytes payload) {
+  mux_.send_wrapped(slot_, to, payload);
+}
+
+void SlotMux::SlotChannel::broadcast(SharedBytes payload) {
+  mux_.broadcast_wrapped(slot_, payload, /*include_self=*/true);
+}
+
+void SlotMux::SlotChannel::broadcast_others(SharedBytes payload) {
+  mux_.broadcast_wrapped(slot_, payload, /*include_self=*/false);
 }
 
 std::uint32_t SlotMux::SlotChannel::cluster_size() const {
@@ -50,6 +59,9 @@ SlotMux::SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
       timers_(host_),
       catchup_(ctx_.cfg.f + 1, ctx_.cfg.n, options_.snapshot_chunk_bytes) {
   FASTBFT_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+  if (!ctx_.verify_cache) {
+    ctx_.verify_cache = std::make_shared<crypto::VerificationCache>();
+  }
 }
 
 SlotMux::~SlotMux() { *alive_ = false; }
@@ -64,9 +76,22 @@ void SlotMux::start() { fill_window(); }
 
 bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
 
-void SlotMux::send_wrapped(Slot slot, ProcessId to, Bytes payload) {
+void SlotMux::send_wrapped(Slot slot, ProcessId to, ByteView payload) {
   transport_.send(
       to, wrap(slot, next_apply_, catchup_.snapshot_floor(), payload));
+}
+
+void SlotMux::broadcast_wrapped(Slot slot, ByteView payload,
+                                bool include_self) {
+  // One wrap per broadcast: the framed buffer is shared by every
+  // recipient's envelope instead of re-encoded n times.
+  SharedBytes wrapped =
+      wrap(slot, next_apply_, catchup_.snapshot_floor(), payload);
+  if (include_self) {
+    transport_.broadcast(std::move(wrapped));
+  } else {
+    transport_.broadcast_others(std::move(wrapped));
+  }
 }
 
 void SlotMux::fill_window() {
@@ -113,8 +138,9 @@ void SlotMux::start_slot(Slot slot) {
 
   inst.replica = std::make_unique<consensus::Replica>(
       ctx_.cfg, ctx_.id, make_input(slot), *inst.channel,
-      crypto::Signer(ctx_.keys, ctx_.id), crypto::Verifier(ctx_.keys),
-      leader_for(slot), on_decide, options_.replica);
+      crypto::Signer(ctx_.keys, ctx_.id),
+      crypto::Verifier(ctx_.keys, ctx_.verify_cache), leader_for(slot),
+      on_decide, options_.replica);
   inst.sync = std::make_unique<viewsync::Synchronizer>(
       sync_cfg, ctx_.id, *inst.channel, timers_,
       [replica = inst.replica.get()](View v) { replica->enter_view(v); });
@@ -206,13 +232,13 @@ void SlotMux::apply_value(Slot slot, const Value& value) {
   if (apply_) apply_(slot, applied);
 }
 
-void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
+void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
   Slot slot = dec.u64();
   Slot watermark = dec.u64();
   Slot snap_floor = dec.u64();
-  Bytes inner = dec.bytes();
+  ByteView inner = dec.bytes_view();  // aliases payload; no copy
   if (!dec.ok() || !dec.at_end() || slot == 0) return;
 
   catchup_.note_watermark(from, watermark);
@@ -245,13 +271,23 @@ void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
   }
 
   if (catchup_.decided(slot) != nullptr) {
-    // Traffic for a slot we already decided marks the sender as a laggard:
-    // answer with the decided value (classic state transfer; fast-path
-    // acks are not transferable proof). Slots pruned below the watermark
-    // floor no longer reach this branch — by the floor's definition the
-    // sender already applied them, so honest peers never ask.
-    if (auto reply = catchup_.reply_for(slot, from)) {
-      transport_.send(from, std::move(*reply));
+    // Traffic for a slot we already decided MAY mark the sender as a
+    // laggard: answer with the decided value (classic state transfer;
+    // fast-path acks are not transferable proof). But only view-change
+    // traffic — WISH or VOTE, both sent strictly after a timeout — proves
+    // the sender is stuck. Acks/acksigs/commits for a freshly decided slot
+    // are just the tail of a healthy race (the sender decides on its own
+    // microseconds later), and replying to those used to ship the decided
+    // value n x n times per slot in a perfectly healthy cluster (~15% of
+    // all traffic in the depth-8 benchmark). Slots pruned below the
+    // watermark floor no longer reach this branch — by the floor's
+    // definition the sender already applied them.
+    bool sender_stuck = !inner.empty() && (inner[0] == net::tags::kWish ||
+                                           inner[0] == net::tags::kVote);
+    if (sender_stuck) {
+      if (auto reply = catchup_.reply_for(slot, from)) {
+        transport_.send(from, std::move(*reply));
+      }
     }
     return;
   }
@@ -269,7 +305,7 @@ void SlotMux::on_wrapped(ProcessId from, const Bytes& payload) {
   }
 }
 
-void SlotMux::on_decided_claim(ProcessId from, const Bytes& payload) {
+void SlotMux::on_decided_claim(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
   Slot slot = dec.u64();
@@ -311,7 +347,7 @@ void SlotMux::request_snapshots() {
   }
 }
 
-void SlotMux::on_snapshot_request(ProcessId from, const Bytes& payload) {
+void SlotMux::on_snapshot_request(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
   Slot their_next_apply = dec.u64();
@@ -324,14 +360,14 @@ void SlotMux::on_snapshot_request(ProcessId from, const Bytes& payload) {
   }
 }
 
-void SlotMux::on_snapshot_response(ProcessId from, const Bytes& payload) {
+void SlotMux::on_snapshot_response(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
   Slot applied_below = dec.u64();
-  Bytes digest_bytes = dec.bytes();
+  ByteView digest_bytes = dec.bytes_view();
   std::uint32_t index = dec.u32();
   std::uint32_t count = dec.u32();
-  Bytes chunk = dec.bytes();
+  Bytes chunk = dec.bytes();  // retained by the reassembly buffer
   if (!dec.ok() || !dec.at_end() || applied_below == 0 ||
       digest_bytes.size() != crypto::kDigestSize) {
     return;

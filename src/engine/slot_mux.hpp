@@ -67,6 +67,13 @@ struct EngineContext {
   /// Optional in-flight-window gauge sink. Sim-only: NetworkStats is not
   /// thread-safe, so threaded hosts leave it null.
   net::NetworkStats* stats = nullptr;
+
+  /// Signature-verification memo shared by every slot's Verifier on this
+  /// node, so votes/certificate entries replayed across certs and
+  /// pipelined slots skip redundant HMACs. Created by the SlotMux when
+  /// null. Per-node, single-threaded — never share across nodes on the
+  /// threaded runtime.
+  std::shared_ptr<crypto::VerificationCache> verify_cache;
 };
 
 struct SlotMuxOptions {
@@ -142,18 +149,19 @@ class SlotMux {
   bool submit(const smr::Command& cmd);
 
   /// Full SMR_WRAPPED payload: routed by slot through the dispatch table.
-  void on_wrapped(ProcessId from, const Bytes& payload);
+  /// The inner message is dispatched as a view into `payload` — no copy.
+  void on_wrapped(ProcessId from, ByteView payload);
 
   /// Full SMR_DECIDED payload: catch-up claim bookkeeping and adoption.
-  void on_decided_claim(ProcessId from, const Bytes& payload);
+  void on_decided_claim(ProcessId from, ByteView payload);
 
   /// Full SNAPSHOT_REQUEST payload: serve the latest snapshot, chunked,
   /// if it actually covers slots the requester is missing.
-  void on_snapshot_request(ProcessId from, const Bytes& payload);
+  void on_snapshot_request(ProcessId from, ByteView payload);
 
   /// Full SNAPSHOT_RESPONSE payload: chunk reassembly; once a verified
   /// snapshot emerges, install it and jump the apply cursor.
-  void on_snapshot_response(ProcessId from, const Bytes& payload);
+  void on_snapshot_response(ProcessId from, ByteView payload);
 
   // --- Introspection (shell, tests, benchmarks) -----------------------------
 
@@ -195,11 +203,15 @@ class SlotMux {
 
  private:
   /// Outbound half of a slot's scope: tags every send with the slot so the
-  /// peer's dispatch table can route it.
+  /// peer's dispatch table can route it. Broadcasts frame the inner payload
+  /// once and share the wrapped buffer across all n recipients (the wrap
+  /// header — slot, watermark, snapshot floor — is recipient-independent).
   class SlotChannel final : public net::Transport {
    public:
     SlotChannel(SlotMux& mux, Slot slot) : mux_(mux), slot_(slot) {}
-    void send(ProcessId to, Bytes payload) override;
+    void send(ProcessId to, SharedBytes payload) override;
+    void broadcast(SharedBytes payload) override;
+    void broadcast_others(SharedBytes payload) override;
     std::uint32_t cluster_size() const override;
     ProcessId self() const override;
 
@@ -230,7 +242,8 @@ class SlotMux {
   void install_snapshot(const smr::Snapshot& snap, Bytes body,
                         const crypto::Digest& digest);
   void request_snapshots();
-  void send_wrapped(Slot slot, ProcessId to, Bytes payload);
+  void send_wrapped(Slot slot, ProcessId to, ByteView payload);
+  void broadcast_wrapped(Slot slot, ByteView payload, bool include_self);
   void note_inflight();
 
   /// Defers `fn` to the host, guarded so a closure outliving this engine

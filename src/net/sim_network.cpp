@@ -5,7 +5,7 @@
 
 namespace fastbft::net {
 
-void SimEndpoint::send(ProcessId to, Bytes payload) {
+void SimEndpoint::send(ProcessId to, SharedBytes payload) {
   net_.send(self_, to, std::move(payload));
 }
 
@@ -35,7 +35,7 @@ std::unique_ptr<SimEndpoint> SimNetwork::endpoint(ProcessId id) {
   return std::make_unique<SimEndpoint>(*this, id);
 }
 
-void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+void SimNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
   FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
   if (disconnected_[from] || disconnected_[to]) return;
 

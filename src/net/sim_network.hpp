@@ -50,7 +50,7 @@ class SimEndpoint final : public Transport {
  public:
   SimEndpoint(SimNetwork& net, ProcessId self) : net_(net), self_(self) {}
 
-  void send(ProcessId to, Bytes payload) override;
+  void send(ProcessId to, SharedBytes payload) override;
   std::uint32_t cluster_size() const override;
   ProcessId self() const override { return self_; }
 
@@ -84,7 +84,7 @@ class SimNetwork {
   /// Creates the transport endpoint for process `id`.
   std::unique_ptr<SimEndpoint> endpoint(ProcessId id);
 
-  void send(ProcessId from, ProcessId to, Bytes payload);
+  void send(ProcessId from, ProcessId to, SharedBytes payload);
 
   /// Cuts delivery of everything sent *to or from* `id` (process crash at
   /// the network level: messages already in flight still arrive, nothing

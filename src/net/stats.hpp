@@ -18,6 +18,12 @@
 
 namespace fastbft::net {
 
+/// Payload materialization counters (allocations avoided by SharedBytes
+/// sharing). Defined next to SharedBytes in common/bytes.hpp — the common
+/// layer cannot depend on net — and re-exported here so benchmark/test
+/// code finds all traffic accounting in net::stats.
+using PayloadStats = fastbft::PayloadStats;
+
 struct TypeStats {
   std::uint64_t count = 0;
   std::uint64_t bytes = 0;

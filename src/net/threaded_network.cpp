@@ -4,7 +4,7 @@
 
 namespace fastbft::net {
 
-void ThreadedEndpoint::send(ProcessId to, Bytes payload) {
+void ThreadedEndpoint::send(ProcessId to, SharedBytes payload) {
   net_.send(self_, to, std::move(payload));
 }
 
@@ -103,7 +103,7 @@ TimePoint ThreadedNetwork::now_ticks() const {
       .count();
 }
 
-void ThreadedNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+void ThreadedNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
   FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
   if (stopping_.load()) return;
   if (disconnected_[from].load() || disconnected_[to].load()) return;

@@ -48,7 +48,7 @@ class ThreadedEndpoint final : public Transport {
   ThreadedEndpoint(ThreadedNetwork& net, ProcessId self)
       : net_(net), self_(self) {}
 
-  void send(ProcessId to, Bytes payload) override;
+  void send(ProcessId to, SharedBytes payload) override;
   std::uint32_t cluster_size() const override;
   ProcessId self() const override { return self_; }
 
@@ -108,7 +108,7 @@ class ThreadedNetwork {
   /// outside mid-run. Thread-safe; tasks run in post order.
   void post(ProcessId id, std::function<void()> fn);
 
-  void send(ProcessId from, ProcessId to, Bytes payload);
+  void send(ProcessId from, ProcessId to, SharedBytes payload);
 
   // --- Wall-clock timers (same-thread contract) -----------------------------
 

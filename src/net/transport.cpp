@@ -2,13 +2,13 @@
 
 namespace fastbft::net {
 
-void Transport::broadcast(const Bytes& payload) {
+void Transport::broadcast(SharedBytes payload) {
   for (ProcessId p = 0; p < cluster_size(); ++p) {
     send(p, payload);
   }
 }
 
-void Transport::broadcast_others(const Bytes& payload) {
+void Transport::broadcast_others(SharedBytes payload) {
   for (ProcessId p = 0; p < cluster_size(); ++p) {
     if (p != self()) send(p, payload);
   }

@@ -9,15 +9,24 @@
 /// Abstract point-to-point transport. Protocol engines talk only to this
 /// interface, so the same replica code runs over the deterministic simulated
 /// network (net::SimNetwork) or any future real transport.
+///
+/// Payloads travel as SharedBytes: one immutable buffer with shared
+/// ownership. A broadcast therefore materializes the payload once and every
+/// recipient's envelope aliases it — the zero-copy fan-out the throughput
+/// benchmarks measure (see net::PayloadStats). Plain Bytes convert
+/// implicitly at the call site, so `send(to, msg.serialize())` still reads
+/// naturally and costs exactly one materialization.
 
 namespace fastbft::net {
 
 /// A message in flight. `payload` begins with a one-byte type tag (see
-/// consensus/messages.hpp) which the statistics collector also uses.
+/// consensus/messages.hpp) which the statistics collector also uses; it is
+/// immutable and may be shared with the envelopes of every other recipient
+/// of a broadcast.
 struct Envelope {
   ProcessId from;
   ProcessId to;
-  Bytes payload;
+  SharedBytes payload;
 };
 
 class Transport {
@@ -27,17 +36,21 @@ class Transport {
   /// Sends `payload` from the bound process to `to`. Sending to self is
   /// allowed and is delivered like any other message (with delay zero in the
   /// simulated network).
-  virtual void send(ProcessId to, Bytes payload) = 0;
+  virtual void send(ProcessId to, SharedBytes payload) = 0;
 
   /// Number of processes in the cluster (membership is static).
   virtual std::uint32_t cluster_size() const = 0;
 
-  /// Sends to every process, including self.
-  void broadcast(const Bytes& payload);
+  virtual ProcessId self() const = 0;
+
+  /// Sends to every process, including self, sharing one payload buffer
+  /// across all recipients. Virtual so wrapping transports (e.g. the SMR
+  /// engine's per-slot channel) can frame the payload once per broadcast
+  /// instead of once per recipient.
+  virtual void broadcast(SharedBytes payload);
 
   /// Sends to every process except self.
-  virtual ProcessId self() const = 0;
-  void broadcast_others(const Bytes& payload);
+  virtual void broadcast_others(SharedBytes payload);
 };
 
 using ReceiveHandler = std::function<void(ProcessId from, const Bytes& payload)>;

@@ -8,8 +8,13 @@ Value encode_batch(const std::vector<Command>& commands) {
   FASTBFT_ASSERT(!commands.empty(), "batches must be non-empty");
   Encoder enc;
   enc.u32(static_cast<std::uint32_t>(commands.size()));
+  // One pooled scratch buffer serves every command's wire form; its
+  // capacity survives the loop (and, via the pool, later batches).
+  Encoder item = Encoder::scratch();
   for (const auto& cmd : commands) {
-    enc.bytes(cmd.to_value().bytes());
+    item.clear();
+    cmd.encode(item);
+    enc.bytes(item.view());
   }
   return Value(std::move(enc).take());
 }
@@ -21,9 +26,9 @@ std::optional<std::vector<Command>> decode_batch(const Value& value) {
   std::vector<Command> commands;
   commands.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    Bytes raw = dec.bytes();
+    ByteView raw = dec.bytes_view();  // aliases the batch; no copy
     if (!dec.ok()) return std::nullopt;
-    auto cmd = Command::from_value(Value(std::move(raw)));
+    auto cmd = Command::from_wire(raw);
     if (!cmd) return std::nullopt;
     commands.push_back(std::move(*cmd));
   }

@@ -2,18 +2,22 @@
 
 namespace fastbft::smr {
 
-Value Command::to_value() const {
-  Encoder enc;
+void Command::encode(Encoder& enc) const {
   enc.u8(static_cast<std::uint8_t>(kind));
   enc.str(key);
   enc.str(value);
   enc.u64(client_id);
   enc.u64(sequence);
+}
+
+Value Command::to_value() const {
+  Encoder enc(1 + 4 + key.size() + 4 + value.size() + 16);
+  encode(enc);
   return Value(std::move(enc).take());
 }
 
-std::optional<Command> Command::from_value(const Value& value) {
-  Decoder dec(value.bytes());
+std::optional<Command> Command::from_wire(ByteView data) {
+  Decoder dec(data);
   Command cmd;
   std::uint8_t kind = dec.u8();
   if (kind < 1 || kind > 3) return std::nullopt;
@@ -24,6 +28,10 @@ std::optional<Command> Command::from_value(const Value& value) {
   cmd.sequence = dec.u64();
   if (!dec.ok() || !dec.at_end()) return std::nullopt;
   return cmd;
+}
+
+std::optional<Command> Command::from_value(const Value& value) {
+  return from_wire(ByteView(value.bytes()));
 }
 
 std::string Command::to_string() const {

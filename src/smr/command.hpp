@@ -37,6 +37,11 @@ struct Command {
   Value to_value() const;
   static std::optional<Command> from_value(const Value& value);
 
+  /// In-place wire forms (same encoding as to_value/from_value, minus the
+  /// Value temporaries): batch encode/decode stream commands through these.
+  void encode(Encoder& enc) const;
+  static std::optional<Command> from_wire(ByteView data);
+
   std::string to_string() const;
 
   friend bool operator==(const Command&, const Command&) = default;

@@ -3,7 +3,7 @@
 namespace fastbft::smr {
 
 Bytes Snapshot::encode() const {
-  Encoder enc;
+  Encoder enc(8 + 8 + 4 + kv_state.size() + 4 + applied_ids.size() * 24);
   enc.u64(applied_below);
   enc.u64(applied_commands);
   enc.bytes(kv_state);

@@ -22,7 +22,7 @@ std::optional<WishMsg> WishMsg::decode(Decoder& dec) {
   return m;
 }
 
-std::optional<WishMsg> parse_wish(const Bytes& payload) {
+std::optional<WishMsg> parse_wish(ByteView payload) {
   if (payload.empty() || payload[0] != net::tags::kWish) return std::nullopt;
   Decoder dec(payload);
   dec.u8();
@@ -75,7 +75,7 @@ void Synchronizer::send_wish(View w) {
   process_wishes();
 }
 
-void Synchronizer::on_message(ProcessId from, const Bytes& payload) {
+void Synchronizer::on_message(ProcessId from, ByteView payload) {
   if (stopped_) return;
   auto wish = parse_wish(payload);
   if (!wish || wish->w == kNoView) return;

@@ -36,7 +36,7 @@ struct WishMsg {
 };
 
 /// Returns nullopt if the payload is not a WISH message.
-std::optional<WishMsg> parse_wish(const Bytes& payload);
+std::optional<WishMsg> parse_wish(ByteView payload);
 
 struct SynchronizerConfig {
   /// Baseline view duration; doubled each view up to `max_doublings`.
@@ -60,8 +60,8 @@ class Synchronizer {
   /// Arms the view-1 timer.
   void start();
 
-  /// Feeds a WISH payload (the node dispatches by tag).
-  void on_message(ProcessId from, const Bytes& payload);
+  /// Feeds a WISH payload (the node dispatches by tag; viewed, not copied).
+  void on_message(ProcessId from, ByteView payload);
 
   /// Stops advancing views (called once the replica decided; for
   /// single-shot consensus there is nothing left to synchronize).

@@ -34,7 +34,7 @@ TEST(Bytes, Equality) {
   EXPECT_TRUE(bytes_equal({1, 2, 3}, {1, 2, 3}));
   EXPECT_FALSE(bytes_equal({1, 2, 3}, {1, 2, 4}));
   EXPECT_FALSE(bytes_equal({1, 2}, {1, 2, 3}));
-  EXPECT_TRUE(bytes_equal({}, {}));
+  EXPECT_TRUE(bytes_equal(Bytes{}, Bytes{}));
 }
 
 // --- codec -------------------------------------------------------------------
@@ -64,7 +64,7 @@ TEST(Codec, BytesAndStrings) {
   Encoder enc;
   enc.bytes({1, 2, 3});
   enc.str("hello");
-  enc.bytes({});
+  enc.bytes(Bytes{});
   Bytes data = std::move(enc).take();
 
   Decoder dec(data);

@@ -149,7 +149,7 @@ TEST_F(MessagesTest, EmptyPayloadRejected) {
 }
 
 TEST_F(MessagesTest, UnknownTagRejected) {
-  EXPECT_FALSE(parse_message({0x7f, 0x01, 0x02}).has_value());
+  EXPECT_FALSE(parse_message(Bytes{0x7f, 0x01, 0x02}).has_value());
 }
 
 TEST_F(MessagesTest, TrailingBytesRejected) {

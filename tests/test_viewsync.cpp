@@ -51,7 +51,7 @@ TEST(WishMsg, Roundtrip) {
 
 TEST(WishMsg, RejectsForeignAndMalformed) {
   EXPECT_FALSE(parse_wish({}).has_value());
-  EXPECT_FALSE(parse_wish({0x01, 0x02}).has_value());  // consensus tag
+  EXPECT_FALSE(parse_wish(Bytes{0x01, 0x02}).has_value());  // consensus tag
   Bytes truncated = WishMsg{42}.serialize();
   truncated.pop_back();
   EXPECT_FALSE(parse_wish(truncated).has_value());
