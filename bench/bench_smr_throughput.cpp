@@ -8,6 +8,7 @@
 #include "net/stats.hpp"
 #include "runtime/threaded_smr_cluster.hpp"
 #include "smr/client.hpp"
+#include "smr/service.hpp"
 #include "smr/smr_node.hpp"
 
 /// Experiment E8d (DESIGN.md §5): replicated state machine throughput on
@@ -22,6 +23,14 @@
 /// (runtime::ThreadedSmrCluster): real OS threads, steady-clock timers, a
 /// fixed per-link delivery delay modelling a LAN — wall-clock seconds
 /// instead of simulated Delta.
+///
+/// Experiment E11 is the client's-eye view: k concurrent ClientSessions
+/// (smr::Service over the threaded runtime) run a closed loop with a
+/// bounded in-flight window — a request completes only on f + 1 matching
+/// signed replica replies, and its completion funds the next submission.
+/// Unlike E9 (which counts replica-side applies), E11 pays the full
+/// client path: gateway forwarding, execution, reply signing and quorum
+/// verification per request.
 ///
 /// Experiment E10 measures what KV snapshots buy under a crash/recover
 /// schedule (docs/CATCHUP.md): without them, a crashed replica's frozen
@@ -358,6 +367,83 @@ void snapshot_recovery_sweep() {
               "a chunked state transfer)\n");
 }
 
+void closed_loop_client_sweep() {
+  using namespace std::chrono;
+  constexpr std::uint64_t kTotalOps = 400;
+  constexpr auto kLinkDelay = microseconds(200);
+  constexpr std::uint32_t kWindow = 8;
+  std::printf("\n=== E11: closed-loop client sessions (threaded service, "
+              "n = 4, f = t = 1, batch = 8, depth = 8, window = %u, %llu "
+              "total ops, %lldus link delay) ===\n",
+              kWindow, static_cast<unsigned long long>(kTotalOps),
+              static_cast<long long>(kLinkDelay.count()));
+  std::printf("%-10s %-14s %-14s %-12s %-12s\n", "sessions", "wall ms",
+              "ops/sec", "completed", "failovers");
+  for (std::uint32_t sessions : {1u, 2u, 4u}) {
+    auto config = smr::ServiceConfig{}
+                      .with_cluster(4, 1, 1)
+                      .with_sessions(sessions)
+                      .with_batch(8)
+                      .with_pipeline_depth(8)
+                      .with_window(kWindow)
+                      .with_link_delay(kLinkDelay);
+    auto service = make_threaded_service(config);
+    service->start();
+    const std::uint64_t per_session = kTotalOps / sessions;
+
+    // Closed loop by construction: every session submits its full quota
+    // up front, the session's bounded window keeps exactly kWindow
+    // requests outstanding, and each completion dispatches the next from
+    // the internal queue.
+    auto begin = steady_clock::now();
+    for (std::uint32_t s = 0; s < sessions; ++s) {
+      for (std::uint64_t i = 1; i <= per_session; ++i) {
+        service->session(s).put("key" + std::to_string(i % 64),
+                                "value-" + std::to_string(i));
+      }
+    }
+    auto all_completed = [&] {
+      std::uint64_t done = 0;
+      for (std::uint32_t s = 0; s < sessions; ++s) {
+        done += service->session(s).completed();
+      }
+      return done >= per_session * sessions;
+    };
+    bool done = service->run_until(all_completed, 120'000ms);
+    double ms = duration_cast<duration<double, std::milli>>(
+                    steady_clock::now() - begin)
+                    .count();
+    std::uint64_t failovers = 0;
+    for (std::uint32_t s = 0; s < sessions; ++s) {
+      failovers += service->session(s).failovers();
+    }
+    service->stop();
+    if (!done) {
+      std::printf("%-10u (incomplete after 120s)\n", sessions);
+      continue;
+    }
+    double ops_per_sec =
+        static_cast<double>(per_session * sessions) / (ms / 1000.0);
+    std::printf("%-10u %-14.1f %-14.0f %-12llu %-12llu\n", sessions, ms,
+                ops_per_sec,
+                static_cast<unsigned long long>(per_session * sessions),
+                static_cast<unsigned long long>(failovers));
+    char extra[224];
+    std::snprintf(extra, sizeof(extra),
+                  "\"n\": 4, \"f\": 1, \"t\": 1, \"batch\": 8, \"depth\": 8, "
+                  "\"sessions\": %u, \"window\": %u, \"commands\": %llu, "
+                  "\"link_delay_us\": %lld",
+                  sessions, kWindow,
+                  static_cast<unsigned long long>(per_session * sessions),
+                  static_cast<long long>(kLinkDelay.count()));
+    g_recorder.add("E11", extra, ops_per_sec, 0, ms, 0, 0, 0, 0);
+  }
+  std::printf("(every op pays the full client path: request -> gateway "
+              "forward -> decide -> execute -> n signed replies -> f + 1 "
+              "quorum check; compare E9, which meters replica-side "
+              "applies only)\n");
+}
+
 void cluster_size_sweep() {
   std::printf("\n=== E8e: SMR throughput by cluster config (batch = 8, "
               "100 commands) ===\n");
@@ -456,7 +542,7 @@ int main(int argc, char** argv) {
       label = need_value("--label");
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--only E8d,E8g,E9,E10,E8e,E8f] "
+                   "usage: %s [--only E8d,E8g,E9,E10,E11,E8e,E8f] "
                    "[--json PATH] [--label NAME]\n",
                    argv[0]);
       return 2;
@@ -472,6 +558,7 @@ int main(int argc, char** argv) {
   if (selected("E8g")) fastbft::smr::pipeline_sweep();
   if (selected("E9")) fastbft::smr::wall_clock_pipeline_sweep();
   if (selected("E10")) fastbft::smr::snapshot_recovery_sweep();
+  if (selected("E11")) fastbft::smr::closed_loop_client_sweep();
   if (selected("E8e")) fastbft::smr::cluster_size_sweep();
   if (selected("E8f")) fastbft::smr::client_latency();
 

@@ -1,56 +1,68 @@
 #include <cstdio>
 
-#include "runtime/cluster.hpp"
+#include "smr/service.hpp"
 
-/// Quickstart: the paper's headline configuration — four processes,
-/// tolerating one Byzantine fault, deciding in two message delays.
+/// Quickstart: the replicated KV service through the unified client API.
+/// Four replicas tolerating one Byzantine fault (the paper's headline
+/// configuration, two message delays per decision) serve typed
+/// put/get/cas/del operations; every result the client sees is vouched
+/// for by f + 1 distinct signed replica replies — Byzantine-verified,
+/// reads included, because reads travel through the log too.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
 ///   ./build/examples/quickstart
 
 using namespace fastbft;
+using namespace std::chrono_literals;
 
 int main() {
-  // f = t = 1 Byzantine fault with only n = 4 processes — the minimum for
-  // any partially synchronous Byzantine consensus, and this protocol is
-  // still "fast" (two-step). FaB Paxos would need 6 processes for this.
-  auto cfg = consensus::QuorumConfig::create(/*n=*/4, /*f=*/1, /*t=*/1);
+  // The fluent config stands up the whole cluster: replicas, simulated
+  // network, key material, and one client session.
+  auto config = smr::ServiceConfig{}
+                    .with_cluster(/*n=*/4, /*f=*/1, /*t=*/1)
+                    .with_sessions(1)
+                    .with_batch(4)
+                    .with_pipeline_depth(2);
+  auto service = smr::make_sim_service(config);
+  service->start();
+  smr::ClientSession& session = service->session(0);
 
-  runtime::ClusterOptions options;
-  options.cfg = cfg;
-  options.net.delta = 100;      // the synchrony bound Delta, in sim ticks
-  options.net.min_delay = 100;  // lock-step delivery: every hop = Delta
-
-  // Each process proposes its own value; the view-1 leader is process 0.
-  std::vector<Value> inputs = {
-      Value::of_string("apply-migration-42"),
-      Value::of_string("apply-migration-43"),
-      Value::of_string("rollback-migration-41"),
-      Value::of_string("apply-migration-42"),
+  auto show = [&](const char* what, smr::Future<smr::Reply> future) {
+    if (!service->await(future, 5'000ms)) {
+      std::printf("  %-28s -> (no quorum within budget)\n", what);
+      return smr::Reply{};
+    }
+    const smr::Reply& reply = future.value();
+    std::printf("  %-28s -> slot %-3llu ok=%s found=%s value=\"%s\"\n", what,
+                static_cast<unsigned long long>(reply.slot),
+                reply.result.ok ? "yes" : "no",
+                reply.result.found ? "yes" : "no",
+                reply.result.value.c_str());
+    return reply;
   };
 
-  runtime::Cluster cluster(options, inputs);
-  cluster.start();
+  std::printf("replicated KV over %u replicas (f = t = 1), one client "
+              "session:\n",
+              service->quorum().n);
+  show("put account-7 = 100", session.put("account-7", "100"));
+  show("get account-7", session.get("account-7"));
+  show("cas account-7: 100 -> 250", session.cas("account-7", "100", "250"));
+  show("cas account-7: 100 -> 999", session.cas("account-7", "100", "999"));
+  show("get account-7", session.get("account-7"));
+  show("del account-7", session.del("account-7"));
+  show("get account-7", session.get("account-7"));
 
-  if (!cluster.run_until_all_correct_decided(/*limit=*/100'000)) {
-    std::printf("no decision within the time limit\n");
-    return 1;
-  }
-
-  std::printf("all %u processes decided:\n", cfg.n);
-  for (const auto& d : cluster.decisions()) {
-    std::printf("  p%u -> \"%s\"  (view %llu, t = %lld ticks = %.1f message "
-                "delays)\n",
-                d.pid, d.value.to_string().c_str(),
-                static_cast<unsigned long long>(d.view),
-                static_cast<long long>(d.time),
-                static_cast<double>(d.time) / 100.0);
-  }
-  std::printf("agreement: %s, two-step: %s\n",
-              cluster.agreement() ? "yes" : "NO (bug!)",
-              cluster.max_decision_delays() == 2.0 ? "yes" : "no");
-  std::printf("\nnetwork traffic:\n%s",
-              cluster.network().stats().summary().c_str());
-  return 0;
+  bool converged = service->await_applied(7, 5'000ms);
+  service->stop();
+  std::printf("\n%llu requests completed, each on f + 1 = %u matching "
+              "signed replies\n",
+              static_cast<unsigned long long>(session.completed()),
+              service->quorum().f + 1);
+  std::printf("all replicas applied the full log: %s, stores agree: %s\n",
+              converged ? "yes" : "no",
+              service->stores_agree() ? "yes" : "NO (bug!)");
+  std::printf("(the second CAS failed on purpose: its expectation was "
+              "stale — the failure itself is quorum-verified)\n");
+  return service->stores_agree() && converged ? 0 : 1;
 }

@@ -2,72 +2,96 @@
 #include <cstdio>
 
 #include "runtime/threaded_cluster.hpp"
-#include "runtime/threaded_smr_cluster.hpp"
+#include "smr/service.hpp"
 
 /// The same protocol, real threads, real clock. Part 1: nine OS threads
 /// (one per process), f = t = 2, two of them crashed — wall-clock time to
-/// a single Byzantine-fault-tolerant decision. Part 2: the full pipelined
-/// SMR engine on the threaded runtime — a replicated KV log with leader
-/// rotation and wall-clock view change surviving a mid-run crash.
+/// a single Byzantine-fault-tolerant decision. Part 2: the full client
+/// API over the threaded runtime — two smr::ClientSessions drive a
+/// replicated KV service (typed ops, f + 1 signed-reply quorum per
+/// request), and a replica crash mid-run is absorbed by session failover
+/// plus wall-clock view change.
 ///
 /// Run: ./build/examples/realtime_quickstart
 
 using namespace fastbft;
 using namespace std::chrono;
+using namespace std::chrono_literals;
 
 namespace {
 
-int run_threaded_smr() {
-  auto cfg = consensus::QuorumConfig::create(/*n=*/6, /*f=*/1, /*t=*/1);
-  runtime::ThreadedSmrClusterOptions options;
-  options.smr.max_batch = 8;
-  options.smr.pipeline_depth = 8;
-  options.smr.rotate_leaders = true;
-  options.smr.target_commands = 200;
-  runtime::ThreadedSmrCluster cluster(cfg, options);
-
-  for (std::uint64_t i = 1; i <= 200; ++i) {
-    cluster.submit(smr::Command::put("account-" + std::to_string(i % 16),
-                                     "balance-" + std::to_string(i), 1, i));
-  }
+int run_threaded_service() {
+  auto config = smr::ServiceConfig{}
+                    .with_cluster(/*n=*/6, /*f=*/1, /*t=*/1)
+                    .with_sessions(2)
+                    .with_batch(8)
+                    .with_pipeline_depth(8)
+                    .with_rotating_leaders()
+                    .with_window(8)
+                    .with_first_gateway(1);
+  auto service = smr::make_threaded_service(config);
 
   auto begin = steady_clock::now();
-  cluster.start();
-  if (!cluster.wait_applied(40, seconds(20))) {
-    std::printf("threaded SMR made no progress — something is wrong\n");
-    return 1;
-  }
-  cluster.crash(2);  // initial leader of slots 3, 9, 15, ... under rotation
-  bool done = cluster.wait_applied(200, seconds(30));
-  auto elapsed = duration_cast<microseconds>(steady_clock::now() - begin);
-  cluster.stop();
+  service->start();
 
-  if (!done) {
-    std::printf("threaded SMR stalled after the crash — something is "
-                "wrong\n");
+  // Closed-loop warm-up: both sessions stream puts, windowed at 8.
+  constexpr std::uint64_t kPerSession = 60;
+  std::vector<smr::Future<smr::Reply>> futures;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::uint64_t i = 1; i <= kPerSession; ++i) {
+      futures.push_back(service->session(s).put(
+          "account-" + std::to_string(i % 16),
+          "balance-" + std::to_string(s * 1000 + i)));
+    }
+  }
+  auto all_ready = [&] {
+    for (const auto& f : futures) {
+      if (!f.ready()) return false;
+    }
+    return true;
+  };
+  if (!service->run_until(all_ready, 30'000ms)) {
+    std::printf("threaded service made no progress — something is wrong\n");
     return 1;
   }
-  std::printf("\npipelined SMR over OS threads (n = 6, depth = 8, p2 "
-              "crashed mid-run):\n");
-  for (ProcessId id = 0; id < cfg.n; ++id) {
-    if (cluster.is_faulty(id)) {
-      std::printf("  p%u crashed\n", id);
-      continue;
-    }
-    std::printf("  p%u applied %llu commands over %llu slots\n", id,
-                static_cast<unsigned long long>(cluster.applied_commands(id)),
-                static_cast<unsigned long long>(
-                    cluster.applied_slots(id).size()));
+
+  // Crash session 0's gateway mid-run: its in-flight requests fail over
+  // to the next replica; the crashed process's slots are rescued by
+  // wall-clock view change underneath.
+  service->crash(1);
+  smr::Future<smr::Reply> through_crash =
+      service->session(0).put("after-crash", "survived");
+  if (!service->await(through_crash, 30'000ms)) {
+    std::printf("request through the crashed gateway never completed\n");
+    return 1;
   }
-  std::printf("stores agree: %s | wall-clock: %lld us | %llu messages, "
-              "%llu wall-clock timeouts fired\n",
-              cluster.correct_stores_agree() ? "yes" : "NO (bug!)",
-              static_cast<long long>(elapsed.count()),
-              static_cast<unsigned long long>(cluster.delivered_messages()),
-              static_cast<unsigned long long>(cluster.timers_fired()));
-  std::printf("(the crashed leader's slots were rescued by view change on "
-              "steady-clock timers — the engine::Host seam gives the\n"
-              "threaded runtime the clock the simulator always had)\n");
+  smr::Future<smr::Reply> read = service->session(1).get("after-crash");
+  bool read_done = service->await(read, 30'000ms);
+  bool converged = service->await_applied(2 * kPerSession + 2, 30'000ms);
+  auto elapsed = duration_cast<microseconds>(steady_clock::now() - begin);
+  service->stop();
+
+  if (!read_done || !read.value().result.found) {
+    std::printf("the other session cannot see the write — bug\n");
+    return 1;
+  }
+  std::printf("\nreplicated KV service over OS threads (n = 6, depth = 8, "
+              "2 sessions, gateway p1 crashed mid-run):\n");
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    std::printf("  session %u: %llu completed, %llu failovers\n", s,
+                static_cast<unsigned long long>(
+                    service->session(s).completed()),
+                static_cast<unsigned long long>(
+                    service->session(s).failovers()));
+  }
+  std::printf("cross-session read: \"%s\" (quorum-verified), stores agree: "
+              "%s | wall-clock: %lld us\n",
+              read.value().result.value.c_str(),
+              service->stores_agree() && converged ? "yes" : "NO (bug!)",
+              static_cast<long long>(elapsed.count()));
+  std::printf("(every completion carries f + 1 matching signed replies; "
+              "the crashed gateway's requests were resubmitted through "
+              "the next replica by the session's per-request timers)\n");
   return 0;
 }
 
@@ -110,5 +134,5 @@ int main() {
               "simulator; here a \"delay\" is an in-process queue hop of a\n"
               "few microseconds instead of a scripted Delta)\n");
 
-  return run_threaded_smr();
+  return run_threaded_service();
 }

@@ -8,6 +8,8 @@ namespace fastbft {
 namespace {
 std::atomic<std::uint64_t> g_payload_allocs{0};
 std::atomic<std::uint64_t> g_payload_alloc_bytes{0};
+std::atomic<std::uint64_t> g_envelope_allocs{0};
+std::atomic<std::uint64_t> g_envelope_reuses{0};
 }  // namespace
 
 void PayloadStats::record_alloc(std::size_t bytes) {
@@ -23,9 +25,27 @@ std::uint64_t PayloadStats::alloc_bytes() {
   return g_payload_alloc_bytes.load(std::memory_order_relaxed);
 }
 
+void PayloadStats::record_envelope_alloc() {
+  g_envelope_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PayloadStats::record_envelope_reuse() {
+  g_envelope_reuses.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadStats::envelope_allocs() {
+  return g_envelope_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadStats::envelope_reuses() {
+  return g_envelope_reuses.load(std::memory_order_relaxed);
+}
+
 void PayloadStats::reset() {
   g_payload_allocs.store(0, std::memory_order_relaxed);
   g_payload_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_envelope_allocs.store(0, std::memory_order_relaxed);
+  g_envelope_reuses.store(0, std::memory_order_relaxed);
 }
 
 SharedBytes::SharedBytes(Bytes bytes)

@@ -70,6 +70,16 @@ class PayloadStats {
   static void record_alloc(std::size_t bytes);
   static std::uint64_t allocs();
   static std::uint64_t alloc_bytes();
+
+  /// Envelope-container accounting (net::ThreadedNetwork): one
+  /// envelope_alloc per freshly heap-allocated inbox queue node, one
+  /// envelope_reuse per node recycled from the per-inbox pool. In steady
+  /// state reuses dominate and allocs plateau at the pool warm-up.
+  static void record_envelope_alloc();
+  static void record_envelope_reuse();
+  static std::uint64_t envelope_allocs();
+  static std::uint64_t envelope_reuses();
+
   static void reset();
 };
 

@@ -4,6 +4,12 @@
 
 namespace fastbft {
 
+const std::shared_ptr<const Bytes>& Value::empty_buffer() {
+  static const std::shared_ptr<const Bytes> empty =
+      std::make_shared<const Bytes>();
+  return empty;
+}
+
 Value Value::of_u64(std::uint64_t v) {
   Encoder enc;
   enc.u64(v);
@@ -11,15 +17,16 @@ Value Value::of_u64(std::uint64_t v) {
 }
 
 std::string Value::to_string() const {
-  bool printable = !bytes_.empty();
-  for (std::uint8_t b : bytes_) {
-    if (!std::isprint(b)) {
+  const Bytes& b = bytes();
+  bool printable = !b.empty();
+  for (std::uint8_t c : b) {
+    if (!std::isprint(c)) {
       printable = false;
       break;
     }
   }
-  if (printable) return std::string(bytes_.begin(), bytes_.end());
-  return "0x" + to_hex_prefix(bytes_, 8);
+  if (printable) return std::string(b.begin(), b.end());
+  return "0x" + to_hex_prefix(b, 8);
 }
 
 std::optional<Value> Value::decode(Decoder& dec) {

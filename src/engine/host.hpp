@@ -32,6 +32,14 @@ class Host : public sim::TimerService {
   /// thread. Used to defer teardown out of a protocol object's own
   /// callback (e.g. destroying a replica from its decide handler).
   void defer(std::function<void()> fn) { schedule_after(0, std::move(fn)); }
+
+  /// Cross-thread submission: runs `fn` on the host thread, interleaved
+  /// with its handlers and timers. Unlike defer()/schedule_after (which
+  /// inherit the same-thread timer contract), post() MAY be called from
+  /// any thread — it is how a driver thread reaches protocol or session
+  /// objects living on a delivery thread. On the single-threaded
+  /// simulator it degenerates to defer().
+  virtual void post(std::function<void()> fn) = 0;
 };
 
 /// Thin adapter over the deterministic simulator: the scheduler already is
@@ -44,6 +52,9 @@ class SimHost final : public Host {
   sim::TimerHandle schedule_after(Duration delay,
                                   std::function<void()> fn) override {
     return sched_.schedule_after(delay, std::move(fn));
+  }
+  void post(std::function<void()> fn) override {
+    sched_.schedule_after(0, std::move(fn));
   }
 
  private:

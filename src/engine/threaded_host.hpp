@@ -44,6 +44,10 @@ class ThreadedHost final : public Host {
                        });
   }
 
+  void post(std::function<void()> fn) override {
+    net_.post(id_, std::move(fn));
+  }
+
  private:
   net::ThreadedNetwork& net_;
   ProcessId id_;

@@ -12,13 +12,14 @@ void SimEndpoint::send(ProcessId to, SharedBytes payload) {
 std::uint32_t SimEndpoint::cluster_size() const { return net_.size(); }
 
 SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
-                       SimNetworkConfig config)
+                       SimNetworkConfig config,
+                       std::uint32_t extra_endpoints)
     : sched_(sched),
       n_(n),
       config_(config),
       rng_(config.seed ^ 0x6e657477ULL),
-      handlers_(n),
-      disconnected_(n, false) {
+      handlers_(n + extra_endpoints),
+      disconnected_(n + extra_endpoints, false) {
   FASTBFT_ASSERT(config_.min_delay >= 1 && config_.min_delay <= config_.delta,
                  "min_delay must be in [1, delta]");
   FASTBFT_ASSERT(config_.pre_gst_max_delay >= config_.delta,
@@ -26,17 +27,18 @@ SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
 }
 
 void SimNetwork::attach(ProcessId id, ReceiveHandler handler) {
-  FASTBFT_ASSERT(id < n_, "attach: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "attach: id out of range");
   handlers_[id] = std::move(handler);
 }
 
 std::unique_ptr<SimEndpoint> SimNetwork::endpoint(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "endpoint: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "endpoint: id out of range");
   return std::make_unique<SimEndpoint>(*this, id);
 }
 
 void SimNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
-  FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
+  FASTBFT_ASSERT(from < total_size() && to < total_size(),
+                 "send: id out of range");
   if (disconnected_[from] || disconnected_[to]) return;
 
   stats_.record_send(payload);
@@ -90,12 +92,12 @@ void SimNetwork::deliver_at(TimePoint at, Envelope env) {
 }
 
 void SimNetwork::disconnect(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "disconnect: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "disconnect: id out of range");
   disconnected_[id] = true;
 }
 
 void SimNetwork::reconnect(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "reconnect: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "reconnect: id out of range");
   disconnected_[id] = false;
 }
 

@@ -61,6 +61,11 @@ class SimEndpoint final : public Transport {
 
 class SimNetwork {
  public:
+  /// `n` is the replica cluster size (what endpoints report as
+  /// cluster_size(), i.e. what broadcasts cover); `extra_endpoints` adds
+  /// client endpoints with ids n .. n + extra - 1 that can attach
+  /// handlers, send point-to-point and receive, but are never broadcast
+  /// targets and are invisible to the consensus membership.
   /// Returning nullopt defers to the stochastic model; returning a time
   /// schedules delivery exactly then (must be > now for remote, >= now for
   /// self sends). Returning `kTimeInfinity` parks the message until
@@ -75,7 +80,8 @@ class SimNetwork {
   using Observer = std::function<void(const Envelope&, TimePoint sent,
                                       TimePoint delivered)>;
 
-  SimNetwork(sim::Scheduler& sched, std::uint32_t n, SimNetworkConfig config);
+  SimNetwork(sim::Scheduler& sched, std::uint32_t n, SimNetworkConfig config,
+             std::uint32_t extra_endpoints = 0);
 
   /// Registers the receive handler for process `id`. Must be set before any
   /// message addressed to `id` is delivered.
@@ -106,7 +112,13 @@ class SimNetwork {
   /// delivered `delta` after the call.
   void flush_parked();
 
+  /// Replica cluster size (broadcast scope). Client endpoints not counted.
   std::uint32_t size() const { return n_; }
+
+  /// Replicas plus client endpoints — the valid ProcessId range.
+  std::uint32_t total_size() const {
+    return static_cast<std::uint32_t>(handlers_.size());
+  }
   const NetworkStats& stats() const { return stats_; }
   NetworkStats& stats() { return stats_; }
   sim::Scheduler& scheduler() { return sched_; }

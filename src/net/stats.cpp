@@ -95,6 +95,9 @@ std::string tag_name(std::uint8_t tag) {
     case tags::kSmrRequest: return "SMR_REQUEST";
     case tags::kSmrWrapped: return "SMR_WRAPPED";
     case tags::kSmrDecided: return "SMR_DECIDED";
+    case tags::kSmrSnapRequest: return "SNAPSHOT_REQUEST";
+    case tags::kSmrSnapResponse: return "SNAPSHOT_RESPONSE";
+    case tags::kSmrReply: return "SMR_REPLY";
     default: {
       char buf[16];
       std::snprintf(buf, sizeof(buf), "TAG_0x%02x", tag);

@@ -39,5 +39,6 @@ inline constexpr std::uint8_t kSmrWrapped = 0x41;  // slot-scoped consensus payl
 inline constexpr std::uint8_t kSmrDecided = 0x42;  // state transfer for laggards
 inline constexpr std::uint8_t kSmrSnapRequest = 0x43;   // full-state transfer: ask
 inline constexpr std::uint8_t kSmrSnapResponse = 0x44;  // full-state transfer: chunk
+inline constexpr std::uint8_t kSmrReply = 0x45;  // signed execution result -> client
 
 }  // namespace fastbft::net::tags

@@ -11,9 +11,13 @@ void ThreadedEndpoint::send(ProcessId to, SharedBytes payload) {
 std::uint32_t ThreadedEndpoint::cluster_size() const { return net_.size(); }
 
 ThreadedNetwork::ThreadedNetwork(std::uint32_t n,
-                                 ThreadedNetworkConfig config)
-    : n_(n), config_(config), handlers_(n), disconnected_(n) {
-  for (std::uint32_t i = 0; i < n; ++i) {
+                                 ThreadedNetworkConfig config,
+                                 std::uint32_t extra_endpoints)
+    : n_(n),
+      config_(config),
+      handlers_(n + extra_endpoints),
+      disconnected_(n + extra_endpoints) {
+  for (std::uint32_t i = 0; i < n + extra_endpoints; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
     disconnected_[i].store(false);
   }
@@ -22,25 +26,25 @@ ThreadedNetwork::ThreadedNetwork(std::uint32_t n,
 ThreadedNetwork::~ThreadedNetwork() { stop(); }
 
 void ThreadedNetwork::attach(ProcessId id, ReceiveHandler handler) {
-  FASTBFT_ASSERT(id < n_, "attach: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "attach: id out of range");
   FASTBFT_ASSERT(!started_, "attach before start()");
   handlers_[id] = std::move(handler);
 }
 
 std::unique_ptr<ThreadedEndpoint> ThreadedNetwork::endpoint(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "endpoint: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "endpoint: id out of range");
   return std::make_unique<ThreadedEndpoint>(*this, id);
 }
 
 void ThreadedNetwork::start() {
   FASTBFT_ASSERT(!started_, "already started");
-  for (ProcessId id = 0; id < n_; ++id) {
+  for (ProcessId id = 0; id < total_size(); ++id) {
     FASTBFT_ASSERT(static_cast<bool>(handlers_[id]),
                    "every process needs a handler before start()");
   }
   started_ = true;
-  workers_.reserve(n_);
-  for (ProcessId id = 0; id < n_; ++id) {
+  workers_.reserve(total_size());
+  for (ProcessId id = 0; id < total_size(); ++id) {
     workers_.emplace_back([this, id] { run_worker(id); });
   }
 }
@@ -65,7 +69,7 @@ void ThreadedNetwork::stop() {
 }
 
 void ThreadedNetwork::disconnect(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "disconnect: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "disconnect: id out of range");
   disconnected_[id].store(true);
   Inbox& inbox = *inboxes_[id];
   {
@@ -82,13 +86,13 @@ void ThreadedNetwork::disconnect(ProcessId id) {
 }
 
 void ThreadedNetwork::reconnect(ProcessId id) {
-  FASTBFT_ASSERT(id < n_, "reconnect: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "reconnect: id out of range");
   disconnected_[id].store(false);
   inboxes_[id]->cv.notify_all();
 }
 
 void ThreadedNetwork::post(ProcessId id, std::function<void()> fn) {
-  FASTBFT_ASSERT(id < n_, "post: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "post: id out of range");
   Inbox& inbox = *inboxes_[id];
   {
     std::lock_guard<std::mutex> lock(inbox.mutex);
@@ -104,7 +108,8 @@ TimePoint ThreadedNetwork::now_ticks() const {
 }
 
 void ThreadedNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
-  FASTBFT_ASSERT(from < n_ && to < n_, "send: id out of range");
+  FASTBFT_ASSERT(from < total_size() && to < total_size(),
+                 "send: id out of range");
   if (stopping_.load()) return;
   if (disconnected_[from].load() || disconnected_[to].load()) return;
   TimePoint at = now_ticks();
@@ -117,8 +122,19 @@ void ThreadedNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
     // unlocked test above could enqueue AFTER the clear and hand a
     // pre-crash envelope to a rejoined fresh incarnation.
     if (disconnected_[to].load()) return;
-    inbox.queue.emplace(std::make_pair(at, inbox.next_env_seq++),
-                        Envelope{from, to, std::move(payload)});
+    auto key = std::make_pair(at, inbox.next_env_seq++);
+    if (!inbox.spare_nodes.empty()) {
+      // Recycle a retired queue node instead of allocating a fresh one.
+      auto node = std::move(inbox.spare_nodes.back());
+      inbox.spare_nodes.pop_back();
+      node.key() = key;
+      node.mapped() = Envelope{from, to, std::move(payload)};
+      inbox.queue.insert(std::move(node));
+      PayloadStats::record_envelope_reuse();
+    } else {
+      inbox.queue.emplace(key, Envelope{from, to, std::move(payload)});
+      PayloadStats::record_envelope_alloc();
+    }
   }
   inbox.cv.notify_one();
 }
@@ -137,7 +153,7 @@ void ThreadedNetwork::assert_timer_owner(ProcessId id) const {
 
 std::pair<TimePoint, std::uint64_t> ThreadedNetwork::arm_timer(
     ProcessId id, TimePoint at_ticks, std::function<void()> fn) {
-  FASTBFT_ASSERT(id < n_, "arm_timer: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "arm_timer: id out of range");
   assert_timer_owner(id);
   Inbox& inbox = *inboxes_[id];
   auto key = std::make_pair(at_ticks, inbox.next_timer_seq++);
@@ -147,7 +163,7 @@ std::pair<TimePoint, std::uint64_t> ThreadedNetwork::arm_timer(
 
 void ThreadedNetwork::cancel_timer(ProcessId id,
                                    std::pair<TimePoint, std::uint64_t> key) {
-  FASTBFT_ASSERT(id < n_, "cancel_timer: id out of range");
+  FASTBFT_ASSERT(id < total_size(), "cancel_timer: id out of range");
   assert_timer_owner(id);
   inboxes_[id]->timers.erase(key);
 }
@@ -195,9 +211,15 @@ void ThreadedNetwork::run_worker(ProcessId id) {
           break;
         }
         if (!inbox.queue.empty() && inbox.queue.begin()->first.first <= now) {
-          env = std::move(inbox.queue.begin()->second);
-          inbox.queue.erase(inbox.queue.begin());
+          auto node = inbox.queue.extract(inbox.queue.begin());
+          env = std::move(node.mapped());
           have_env = true;
+          if (inbox.spare_nodes.size() < kSpareNodeCap) {
+            // Pool the node for the next send; clear the moved-from
+            // envelope so no payload reference lingers in the pool.
+            node.mapped() = Envelope{};
+            inbox.spare_nodes.push_back(std::move(node));
+          }
           break;
         }
         TimePoint next = kTimeInfinity;

@@ -70,7 +70,14 @@ class ThreadedNetwork {
  public:
   using Clock = std::chrono::steady_clock;
 
-  explicit ThreadedNetwork(std::uint32_t n, ThreadedNetworkConfig config = {});
+  /// `n` is the replica cluster size (what endpoints report as
+  /// cluster_size(), i.e. what broadcasts cover); `extra_endpoints` adds
+  /// client endpoints with ids n .. n + extra - 1. A client endpoint gets
+  /// its own delivery thread, inbox and timer queue exactly like a
+  /// replica — engine::ThreadedHost works for it unchanged — but it is
+  /// never a broadcast target and is invisible to consensus membership.
+  explicit ThreadedNetwork(std::uint32_t n, ThreadedNetworkConfig config = {},
+                           std::uint32_t extra_endpoints = 0);
   ~ThreadedNetwork();
 
   ThreadedNetwork(const ThreadedNetwork&) = delete;
@@ -127,19 +134,37 @@ class ThreadedNetwork {
   /// or was cancelled. Same-thread contract as arm_timer.
   void cancel_timer(ProcessId id, std::pair<TimePoint, std::uint64_t> key);
 
+  /// Replica cluster size (broadcast scope). Client endpoints not counted.
   std::uint32_t size() const { return n_; }
+
+  /// Replicas plus client endpoints — the valid ProcessId range.
+  std::uint32_t total_size() const {
+    return static_cast<std::uint32_t>(inboxes_.size());
+  }
+
   std::uint64_t delivered_count() const { return delivered_.load(); }
   std::uint64_t timers_fired() const { return timers_fired_.load(); }
 
  private:
+  using QueueMap = std::map<std::pair<TimePoint, std::uint64_t>, Envelope>;
+
+  /// Envelope-map nodes an inbox keeps around for reuse: a steady-state
+  /// message exchange recycles node allocations instead of paying one
+  /// heap round-trip per delivered envelope (observable via
+  /// PayloadStats::envelope_allocs/envelope_reuses).
+  static constexpr std::size_t kSpareNodeCap = 64;
+
   struct Inbox {
     std::mutex mutex;
     std::condition_variable cv;
     /// (delivery time, arrival sequence) -> message: delivery-time order
     /// with FIFO tie-break, so zero-delay self-sends overtake delayed
     /// remote traffic exactly as they do on the simulator.
-    std::map<std::pair<TimePoint, std::uint64_t>, Envelope> queue;
+    QueueMap queue;
     std::uint64_t next_env_seq = 0;
+
+    /// Recycled queue nodes (payload refs dropped), guarded by `mutex`.
+    std::vector<QueueMap::node_type> spare_nodes;
 
     /// Owned by the delivery thread (plus pre-start/post-stop setup, which
     /// is ordered by thread creation/join): no lock needed for the

@@ -10,7 +10,8 @@ Cluster::Cluster(ClusterOptions options, std::vector<Value> inputs)
     : options_(options), inputs_(std::move(inputs)) {
   const auto n = options_.cfg.n;
   FASTBFT_ASSERT(inputs_.size() == n, "need one input per process");
-  network_ = std::make_unique<net::SimNetwork>(sched_, n, options_.net);
+  network_ = std::make_unique<net::SimNetwork>(sched_, n, options_.net,
+                                               options_.extra_endpoints);
   keys_ = std::make_shared<const crypto::KeyStore>(options_.key_seed, n);
   leader_of_ = consensus::round_robin_leader(n);
   factories_.resize(n);
@@ -44,6 +45,28 @@ void Cluster::restart_at(ProcessId id, TimePoint at) {
 void Cluster::mark_faulty(ProcessId id) {
   FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
   faulty_[id] = true;
+}
+
+void Cluster::crash_now(ProcessId id) {
+  FASTBFT_ASSERT(started_, "crash_now: start() the cluster first");
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  faulty_[id] = true;
+  FASTBFT_ASSERT(num_faulty() <= options_.cfg.f,
+                 "crash_now exceeds the configured fault bound");
+  network_->disconnect(id);
+}
+
+void Cluster::restart_now(ProcessId id) {
+  FASTBFT_ASSERT(started_, "restart_now: start() the cluster first");
+  FASTBFT_ASSERT(id < options_.cfg.n, "process id out of range");
+  FASTBFT_ASSERT(network_->is_disconnected(id),
+                 "restart_now: process never crashed");
+  // Same recovery contract as restart_at: a factory-fresh instance, a
+  // clean network slate, and everything it knew recovered through the
+  // protocol (catch-up / snapshot transfer).
+  network_->reconnect(id);
+  build_process(id);
+  processes_[id]->start();
 }
 
 void Cluster::set_network_script(net::SimNetwork::DeliveryScript script) {

@@ -39,6 +39,12 @@ struct ClusterOptions {
   NodeOptions node;
   std::uint64_t key_seed = 42;
 
+  /// Client endpoints attached to the network beyond the cfg.n replicas
+  /// (ids cfg.n .. cfg.n + extra - 1). The cluster itself never touches
+  /// them; the service facade (smr::Service) hangs client sessions off
+  /// them. See net::SimNetwork.
+  std::uint32_t extra_endpoints = 0;
+
   /// Defaults to this paper's protocol (runtime::Node).
   NodeFactory node_factory;
 };
@@ -86,6 +92,19 @@ class Cluster {
   /// Marks a process faulty without altering it (e.g. when the test drives
   /// misbehaviour through a network script).
   void mark_faulty(ProcessId id);
+
+  // --- Mid-run fault injection (after start(), between scheduler steps) ------
+
+  /// Fail-stop `id` immediately: cut from the network and marked faulty.
+  /// The driver-side sibling of crash_at for scenarios decided while the
+  /// run is already in flight (e.g. a service crashing a gateway).
+  void crash_now(ProcessId id);
+
+  /// Crash-recovery, immediately: `id` (previously crashed) rejoins as a
+  /// factory-fresh instance and start()s — the mid-run sibling of
+  /// restart_at, with the same semantics (state recovery is the
+  /// protocol's job; the process stays counted as faulty).
+  void restart_now(ProcessId id);
 
   /// Installs an exact delivery schedule (see net::SimNetwork).
   void set_network_script(net::SimNetwork::DeliveryScript script);

@@ -8,7 +8,8 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
                                        ThreadedSmrClusterOptions options)
     : cfg_(cfg),
       options_(std::move(options)),
-      net_(cfg.n, net::ThreadedNetworkConfig{options_.link_delay}),
+      net_(cfg.n, net::ThreadedNetworkConfig{options_.link_delay},
+           options_.num_clients),
       keys_(std::make_shared<const crypto::KeyStore>(options_.key_seed,
                                                      cfg.n)),
       leader_of_(consensus::round_robin_leader(cfg.n)),
@@ -18,6 +19,7 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
       snapshot_installs_(cfg.n, 0),
       faulty_(cfg.n, false) {
   smr_options_.node.sync.base_timeout = options_.sync_base_timeout_us;
+  smr_options_.num_clients = options_.num_clients;
 
   for (ProcessId id = 0; id < cfg.n; ++id) {
     hosts_.push_back(std::make_unique<engine::ThreadedHost>(net_, id));

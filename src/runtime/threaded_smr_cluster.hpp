@@ -45,6 +45,12 @@ struct ThreadedSmrClusterOptions {
   /// round-trips, including sanitizer slowdowns.
   Duration sync_base_timeout_us = 25'000;
 
+  /// Client endpoints beyond the n replicas (ids n .. n + clients - 1),
+  /// each with its own delivery thread. Overrides smr.num_clients (the
+  /// two must agree — replicas address replies by endpoint id). The
+  /// service facade attaches smr::ClientSessions to them before start().
+  std::uint32_t num_clients = 0;
+
   std::uint64_t key_seed = 42;
 };
 
@@ -120,6 +126,13 @@ class ThreadedSmrCluster {
   bool correct_stores_agree() const;
 
   const consensus::QuorumConfig& config() const { return cfg_; }
+
+  /// The transport (client endpoint attachment, introspection). Client
+  /// handlers must be attached before start().
+  net::ThreadedNetwork& net() { return net_; }
+
+  /// Cluster key material (client sessions verify reply signatures).
+  std::shared_ptr<const crypto::KeyStore> keys() const { return keys_; }
 
  private:
   /// Builds a fresh SmrNode for `id` (constructor only — no timers armed,

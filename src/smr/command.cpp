@@ -8,10 +8,12 @@ void Command::encode(Encoder& enc) const {
   enc.str(value);
   enc.u64(client_id);
   enc.u64(sequence);
+  enc.str(expected);
 }
 
 Value Command::to_value() const {
-  Encoder enc(1 + 4 + key.size() + 4 + value.size() + 16);
+  Encoder enc(1 + 4 + key.size() + 4 + value.size() + 16 + 4 +
+              expected.size());
   encode(enc);
   return Value(std::move(enc).take());
 }
@@ -20,12 +22,13 @@ std::optional<Command> Command::from_wire(ByteView data) {
   Decoder dec(data);
   Command cmd;
   std::uint8_t kind = dec.u8();
-  if (kind < 1 || kind > 3) return std::nullopt;
+  if (kind < 1 || kind > 5) return std::nullopt;
   cmd.kind = static_cast<OpKind>(kind);
   cmd.key = dec.str();
   cmd.value = dec.str();
   cmd.client_id = dec.u64();
   cmd.sequence = dec.u64();
+  cmd.expected = dec.str();
   if (!dec.ok() || !dec.at_end()) return std::nullopt;
   return cmd;
 }
@@ -39,6 +42,8 @@ std::string Command::to_string() const {
     case OpKind::Put: return "PUT " + key + "=" + value;
     case OpKind::Del: return "DEL " + key;
     case OpKind::Noop: return "NOOP";
+    case OpKind::Get: return "GET " + key;
+    case OpKind::Cas: return "CAS " + key + ": " + expected + "->" + value;
   }
   return "?";
 }

@@ -9,10 +9,21 @@
 /// \file command.hpp
 /// Commands replicated by the SMR layer. A command is what clients submit
 /// and what each consensus slot decides on; the KV store interprets them.
+///
+/// Reads (`Get`) travel through the log like writes: a read is decided in
+/// a slot and executed at its log position by every replica, which is what
+/// makes the result linearizable (and lets f + 1 replicas vouch for it in
+/// their REPLY messages — see smr/reply.hpp).
 
 namespace fastbft::smr {
 
-enum class OpKind : std::uint8_t { Put = 1, Del = 2, Noop = 3 };
+enum class OpKind : std::uint8_t {
+  Put = 1,
+  Del = 2,
+  Noop = 3,
+  Get = 4,
+  Cas = 5,
+};
 
 struct Command {
   OpKind kind = OpKind::Noop;
@@ -21,6 +32,10 @@ struct Command {
   /// Client-assigned id for deduplication / reply matching.
   std::uint64_t client_id = 0;
   std::uint64_t sequence = 0;
+  /// Cas only: the value the key must currently hold for `value` to be
+  /// installed. (Kept last so the older positional initializers stay
+  /// valid; encoded after `sequence` on the wire.)
+  std::string expected;
 
   static Command put(std::string key, std::string value,
                      std::uint64_t client_id = 0, std::uint64_t sequence = 0) {
@@ -30,6 +45,15 @@ struct Command {
   static Command del(std::string key, std::uint64_t client_id = 0,
                      std::uint64_t sequence = 0) {
     return Command{OpKind::Del, std::move(key), {}, client_id, sequence};
+  }
+  static Command get(std::string key, std::uint64_t client_id = 0,
+                     std::uint64_t sequence = 0) {
+    return Command{OpKind::Get, std::move(key), {}, client_id, sequence};
+  }
+  static Command cas(std::string key, std::string expected, std::string value,
+                     std::uint64_t client_id = 0, std::uint64_t sequence = 0) {
+    return Command{OpKind::Cas,  std::move(key), std::move(value),
+                   client_id,    sequence,       std::move(expected)};
   }
   static Command noop() { return Command{}; }
 

@@ -2,18 +2,33 @@
 
 namespace fastbft::smr {
 
-void KvStore::apply(const Command& cmd) {
+ExecResult KvStore::apply(const Command& cmd) {
+  ExecResult result;
+  auto it = data_.find(cmd.key);
+  result.found = it != data_.end();
   switch (cmd.kind) {
     case OpKind::Put:
       data_[cmd.key] = cmd.value;
       break;
     case OpKind::Del:
-      data_.erase(cmd.key);
+      if (result.found) data_.erase(it);
       break;
     case OpKind::Noop:
+      result.found = false;
+      break;
+    case OpKind::Get:
+      if (result.found) result.value = it->second;
+      break;
+    case OpKind::Cas:
+      // Succeeds only when the key exists and holds exactly `expected`;
+      // a failed CAS leaves the store untouched (but still consumes its
+      // log position — the result is what tells the client).
+      result.ok = result.found && it->second == cmd.expected;
+      if (result.ok) it->second = cmd.value;
       break;
   }
   ++applied_;
+  return result;
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) const {

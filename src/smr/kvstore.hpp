@@ -15,10 +15,26 @@
 
 namespace fastbft::smr {
 
+/// The outcome of executing one command at its log position — what a
+/// replica reports back to the client in its REPLY (smr/reply.hpp). A
+/// deterministic function of (state, command), so every correct replica
+/// produces the identical result for the same slot.
+struct ExecResult {
+  /// Put/Del/Get/Noop: always true. Cas: the key held `expected` and
+  /// `value` was installed.
+  bool ok = true;
+  /// Get/Del/Cas: the key existed before execution.
+  bool found = false;
+  /// Get: the value read (empty when !found).
+  std::string value;
+
+  friend bool operator==(const ExecResult&, const ExecResult&) = default;
+};
+
 class KvStore {
  public:
-  /// Applies one decided command.
-  void apply(const Command& cmd);
+  /// Applies one decided command and returns its execution result.
+  ExecResult apply(const Command& cmd);
 
   std::optional<std::string> get(const std::string& key) const;
   std::size_t size() const { return data_.size(); }

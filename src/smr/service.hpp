@@ -1,0 +1,185 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "net/sim_network.hpp"
+#include "smr/session.hpp"
+#include "smr/smr_node.hpp"
+
+/// \file service.hpp
+/// The unified client API of the replicated KV service: one facade,
+/// smr::Service, that stands up a whole cluster (replicas, network, key
+/// material, client endpoints) behind a fluent ServiceConfig and exposes
+/// it exclusively through smr::ClientSession — typed put/get/del/cas
+/// operations completing per-request Futures on an f + 1 quorum of
+/// signed, matching replica replies.
+///
+/// The same session code runs on both runtimes; the factory picks the
+/// substrate:
+///  * make_sim_service — the deterministic simulator (runtime::Cluster).
+///    Drive progress with run_until; simulated time, reproducible runs.
+///  * make_threaded_service — real OS threads and wall-clock time
+///    (runtime::ThreadedSmrCluster). Futures are blockable; run_until
+///    polls.
+///
+/// Lifecycle: configure -> construct (sessions exist immediately) ->
+/// start() -> submit through sessions / crash() / restart() -> stop().
+/// See docs/CLIENT_API.md for the full contract (reply quorum rule,
+/// failover, at-most-once dedup).
+
+namespace fastbft::smr {
+
+struct ServiceConfig {
+  consensus::QuorumConfig cluster = consensus::QuorumConfig{4, 1, 1};
+  std::uint32_t num_sessions = 1;
+
+  /// Replication tuning (batching, pipelining, snapshots, leader
+  /// rotation, per-slot consensus knobs). target_commands and num_clients
+  /// are managed by the service itself.
+  SmrOptions smr;
+
+  /// Per-request completion timeout in host ticks (simulator ticks / µs
+  /// wall-clock); 0 picks a runtime-appropriate default. On expiry the
+  /// session fails over to the next gateway and resubmits.
+  Duration request_timeout = 0;
+
+  /// Per-session submission window (bounded in-flight backpressure).
+  std::uint32_t max_in_flight = 8;
+
+  /// Gateway of session k is (first_gateway + k) % n — sessions spread
+  /// their request load across replicas by default.
+  ProcessId first_gateway = 0;
+
+  std::uint64_t key_seed = 42;
+
+  /// Simulator runtime only: network model (Delta, jitter, seed).
+  net::SimNetworkConfig sim_net;
+
+  /// Threaded runtime only: LAN model + wall-clock view-change timeout.
+  std::chrono::microseconds link_delay{0};
+  Duration sync_base_timeout_us = 25'000;
+
+  // --- Fluent builder --------------------------------------------------------
+
+  ServiceConfig& with_cluster(std::uint32_t n, std::uint32_t f,
+                              std::uint32_t t) {
+    cluster = consensus::QuorumConfig::create(n, f, t);
+    return *this;
+  }
+  ServiceConfig& with_sessions(std::uint32_t count) {
+    num_sessions = count;
+    return *this;
+  }
+  ServiceConfig& with_pipeline_depth(std::uint32_t depth) {
+    smr.pipeline_depth = depth;
+    return *this;
+  }
+  ServiceConfig& with_batch(std::uint32_t max_batch) {
+    smr.max_batch = max_batch;
+    return *this;
+  }
+  ServiceConfig& with_snapshots(std::uint64_t interval) {
+    smr.snapshot_interval = interval;
+    return *this;
+  }
+  ServiceConfig& with_rotating_leaders(bool rotate = true) {
+    smr.rotate_leaders = rotate;
+    return *this;
+  }
+  ServiceConfig& with_request_timeout(Duration ticks) {
+    request_timeout = ticks;
+    return *this;
+  }
+  ServiceConfig& with_window(std::uint32_t in_flight) {
+    max_in_flight = in_flight;
+    return *this;
+  }
+  ServiceConfig& with_first_gateway(ProcessId gateway) {
+    first_gateway = gateway;
+    return *this;
+  }
+  ServiceConfig& with_link_delay(std::chrono::microseconds delay) {
+    link_delay = delay;
+    return *this;
+  }
+  ServiceConfig& with_seed(std::uint64_t seed) {
+    key_seed = seed;
+    sim_net.seed = seed;
+    return *this;
+  }
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Boots the cluster. Sessions exist (and may queue submissions) from
+  /// construction; nothing executes until start().
+  virtual void start() = 0;
+
+  /// Shuts the cluster down (joins threads on the threaded runtime).
+  /// Store introspection (stores_agree) is safe after this.
+  virtual void stop() = 0;
+
+  virtual ClientSession& session(std::uint32_t index) = 0;
+  virtual std::uint32_t num_sessions() const = 0;
+
+  /// Fail-stop / crash-recover a replica mid-run (fault injection; the
+  /// sessions' failover machinery is how clients survive it).
+  virtual void crash(ProcessId replica) = 0;
+  virtual void restart(ProcessId replica) = 0;
+
+  /// Drives the service until done() returns true or ~`budget` elapses;
+  /// returns done()'s final verdict. On the simulator this steps the
+  /// scheduler (1 ms of budget = 1000 simulated ticks); on the threaded
+  /// runtime it polls wall-clock. done() must be safe to call from the
+  /// driving thread.
+  virtual bool run_until(std::function<bool()> done,
+                         std::chrono::milliseconds budget) = 0;
+
+  /// Convenience: drive until `future` completes.
+  bool await(const Future<Reply>& future, std::chrono::milliseconds budget) {
+    return run_until([&future] { return future.ready(); }, budget);
+  }
+
+  virtual const consensus::QuorumConfig& quorum() const = 0;
+
+  // --- Introspection (tests, benchmarks) -------------------------------------
+
+  /// Commands replica `id` applied so far (thread-safe on both runtimes).
+  virtual std::uint64_t applied_commands(ProcessId replica) const = 0;
+
+  /// True iff `replica` crashed (and, on the sim runtime, was not yet
+  /// counted back in) — the replicas stores_agree() skips.
+  virtual bool is_faulty(ProcessId replica) const = 0;
+
+  /// Convenience: drive until every correct replica applied at least
+  /// `commands` distinct commands — the convergence barrier to cross
+  /// before store-agreement checks (request completion only proves f + 1
+  /// replicas executed).
+  bool await_applied(std::uint64_t commands, std::chrono::milliseconds budget) {
+    return run_until(
+        [this, commands] {
+          for (ProcessId id = 0; id < quorum().n; ++id) {
+            if (is_faulty(id)) continue;
+            if (applied_commands(id) < commands) return false;
+          }
+          return true;
+        },
+        budget);
+  }
+
+  /// True iff every correct replica's KV store digest matches. Threaded
+  /// runtime: only valid after stop().
+  virtual bool stores_agree() const = 0;
+};
+
+/// Deterministic-simulator service.
+std::unique_ptr<Service> make_sim_service(const ServiceConfig& config);
+
+/// Real-threads, wall-clock service.
+std::unique_ptr<Service> make_threaded_service(const ServiceConfig& config);
+
+}  // namespace fastbft::smr

@@ -1,0 +1,176 @@
+#include "smr/session.hpp"
+
+#include "common/assert.hpp"
+#include "net/tags.hpp"
+#include "smr/smr_node.hpp"
+
+namespace fastbft::smr {
+
+ClientSession::ClientSession(engine::Host& host,
+                             std::unique_ptr<net::Transport> endpoint,
+                             SessionConfig config)
+    : host_(host),
+      endpoint_(std::move(endpoint)),
+      config_(std::move(config)),
+      verifier_(config_.keys) {
+  FASTBFT_ASSERT(config_.n > 0, "session needs the cluster size");
+  FASTBFT_ASSERT(config_.max_in_flight >= 1, "window must admit a request");
+  FASTBFT_ASSERT(endpoint_->self() >= config_.n,
+                 "sessions live on client endpoints, not replica ids");
+  preferred_gateway_ = config_.first_gateway % config_.n;
+}
+
+ClientSession::~ClientSession() { *alive_ = false; }
+
+Future<Reply> ClientSession::put(std::string key, std::string value) {
+  return submit(Command::put(std::move(key), std::move(value)));
+}
+
+Future<Reply> ClientSession::get(std::string key) {
+  return submit(Command::get(std::move(key)));
+}
+
+Future<Reply> ClientSession::del(std::string key) {
+  return submit(Command::del(std::move(key)));
+}
+
+Future<Reply> ClientSession::cas(std::string key, std::string expected,
+                                 std::string value) {
+  return submit(Command::cas(std::move(key), std::move(expected),
+                             std::move(value)));
+}
+
+Future<Reply> ClientSession::submit(Command cmd) {
+  Promise<Reply> promise;
+  Future<Reply> future = promise.future();
+  cmd.client_id = id();
+  // Sequence assignment, windowing and sending all happen on the host
+  // thread: ops are safe to call from any thread, and the session state
+  // stays single-threaded.
+  host_.post([this, alive = alive_, cmd = std::move(cmd),
+              promise = std::move(promise)]() mutable {
+    if (!*alive) return;
+    std::uint64_t sequence = next_sequence_++;
+    cmd.sequence = sequence;
+    Request& request = requests_[sequence];
+    request.cmd = std::move(cmd);
+    request.promise = std::move(promise);
+    admit(sequence);
+  });
+  return future;
+}
+
+void ClientSession::admit(std::uint64_t sequence) {
+  if (in_flight_.size() >= config_.max_in_flight) {
+    waiting_.push_back(sequence);
+    queued_gauge_.store(waiting_.size());
+    return;
+  }
+  in_flight_.insert(sequence);
+  in_flight_gauge_.store(in_flight_.size());
+  dispatch(requests_.at(sequence));
+}
+
+void ClientSession::dispatch(Request& request) {
+  // Gateway is chosen at dispatch time, not frozen at submit: a request
+  // drained from the window queue after a failover must target the
+  // gateway the session currently trusts, not one it already learned is
+  // dead.
+  request.gateway = preferred_gateway_;
+  endpoint_->send(request.gateway,
+                  SmrNode::encode_request(request.cmd));
+  std::uint64_t sequence = request.cmd.sequence;
+  request.timer = host_.schedule_after(
+      config_.request_timeout, [this, alive = alive_, sequence] {
+        if (*alive) on_timeout(sequence);
+      });
+}
+
+void ClientSession::on_timeout(std::uint64_t sequence) {
+  auto it = requests_.find(sequence);
+  if (it == requests_.end()) return;  // completed; stale timer
+  Request& request = it->second;
+  // The quorum did not arrive in time: the gateway may have crashed
+  // before forwarding, or the request/replies are just slow. Fail over to
+  // the next gateway and resubmit the IDENTICAL command — (client_id,
+  // sequence) dedup at apply time makes the retry at-most-once, and any
+  // reply quorum (from either copy) completes the request. Future
+  // requests start at the new gateway too.
+  failovers_.fetch_add(1);
+  preferred_gateway_ = (request.gateway + 1) % config_.n;
+  dispatch(request);
+}
+
+void ClientSession::on_message(ProcessId from, const Bytes& payload) {
+  if (payload.empty() || payload[0] != net::tags::kSmrReply) return;
+  if (from >= config_.n) return;  // replies come from replicas only
+  auto reply = decode_reply_payload(payload, from, verifier_);
+  if (!reply || reply->client_id != id()) {
+    rejected_.fetch_add(1);
+    return;
+  }
+  handle_reply(from, *reply);
+}
+
+void ClientSession::handle_reply(ProcessId from, const Reply& reply) {
+  auto it = requests_.find(reply.sequence);
+  if (it == requests_.end()) {
+    rejected_.fetch_add(1);  // unknown or already-completed sequence
+    return;
+  }
+  Request& request = it->second;
+  if (reply.op != request.cmd.kind) {
+    rejected_.fetch_add(1);  // a lying replica echoed the wrong op
+    return;
+  }
+  auto key = std::make_pair(reply.slot, reply.match_digest());
+  // One live vote per replica: a correct replica sends exactly one reply
+  // per request, so a SECOND, different reply from the same sender is
+  // Byzantine by construction — replace its earlier vote instead of
+  // accumulating, which bounds per-request reply state by n even against
+  // a replica streaming fabricated results.
+  auto voted = request.voted.find(from);
+  if (voted != request.voted.end()) {
+    if (voted->second == key) return;  // duplicate of its recorded vote
+    auto old_votes = request.votes.find(voted->second);
+    old_votes->second.erase(from);
+    if (old_votes->second.empty()) {
+      request.votes.erase(old_votes);
+      request.candidates.erase(voted->second);
+    }
+  }
+  request.voted[from] = key;
+  request.candidates.emplace(key, reply);
+  auto& voters = request.votes[key];
+  voters.insert(from);
+  if (voters.size() < config_.f + 1) return;
+
+  // f + 1 distinct replicas vouch for this (slot, result): at least one
+  // is correct, so the command was decided at that slot and executed with
+  // exactly this result. Complete and free the window slot.
+  Reply verdict = request.candidates.at(key);
+  Promise<Reply> promise = std::move(request.promise);
+  request.timer.cancel();
+  std::uint64_t sequence = reply.sequence;
+  requests_.erase(it);
+  in_flight_.erase(sequence);
+  in_flight_gauge_.store(in_flight_.size());
+  completed_.fetch_add(1);
+  refill_window();
+  // Complete LAST: future callbacks run caller code that may re-enter the
+  // session (a closed-loop client submitting its next request).
+  promise.set(std::move(verdict));
+}
+
+void ClientSession::refill_window() {
+  while (!waiting_.empty() && in_flight_.size() < config_.max_in_flight) {
+    std::uint64_t sequence = waiting_.front();
+    waiting_.pop_front();
+    in_flight_.insert(sequence);
+    dispatch(requests_.at(sequence));
+  }
+  queued_gauge_.store(waiting_.size());
+  in_flight_gauge_.store(in_flight_.size());
+}
+
+}  // namespace fastbft::smr

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "net/tags.hpp"
+#include "smr/reply.hpp"
 
 namespace fastbft::smr {
 
@@ -49,7 +50,10 @@ void SmrNode::init_mux(engine::Host& host) {
   mux_ = std::make_unique<engine::SlotMux>(
       host, ectx_, *endpoint_, mux_options,
       [this](Slot slot, const std::vector<Command>& applied) {
-        for (const auto& cmd : applied) store_.apply(cmd);
+        for (const auto& cmd : applied) {
+          ExecResult result = store_.apply(cmd);
+          send_reply(slot, cmd, std::move(result));
+        }
         if (on_commit_) on_commit_(ectx_.id, slot, applied);
       },
       std::move(hooks));
@@ -74,7 +78,7 @@ void SmrNode::on_message(ProcessId from, const Bytes& payload) {
   if (payload.empty()) return;
   switch (payload[0]) {
     case net::tags::kSmrRequest:
-      handle_request(payload);
+      handle_request(from, payload);
       return;
     case net::tags::kSmrWrapped:
       mux_->on_wrapped(from, payload);
@@ -93,14 +97,35 @@ void SmrNode::on_message(ProcessId from, const Bytes& payload) {
   }
 }
 
-void SmrNode::handle_request(const Bytes& payload) {
+void SmrNode::handle_request(ProcessId from, const Bytes& payload) {
   Decoder dec(payload);
   dec.u8();
   Bytes raw = dec.bytes();
   if (!dec.ok() || !dec.at_end()) return;
   auto cmd = Command::from_value(Value(std::move(raw)));
   if (!cmd) return;
+  if (from >= ectx_.cfg.n) {
+    // The request came straight from a client endpoint: this replica is
+    // its gateway. Forward the identical payload to the rest of the
+    // cluster so any slot leader can propose it (peers see a replica
+    // sender and do not forward again), then admit it locally.
+    endpoint_->broadcast_others(payload);
+  }
   mux_->submit(*cmd);
+}
+
+void SmrNode::send_reply(Slot slot, const Command& cmd, ExecResult result) {
+  if (options_.num_clients == 0) return;
+  if (cmd.client_id < ectx_.cfg.n ||
+      cmd.client_id >= static_cast<std::uint64_t>(ectx_.cfg.n) +
+                           options_.num_clients) {
+    return;  // not addressed from an attached client endpoint
+  }
+  Reply reply{cmd.client_id, cmd.sequence, slot, cmd.kind,
+              std::move(result)};
+  endpoint_->send(
+      static_cast<ProcessId>(cmd.client_id),
+      encode_reply_payload(reply, crypto::Signer(ectx_.keys, ectx_.id)));
 }
 
 }  // namespace fastbft::smr

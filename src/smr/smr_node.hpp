@@ -25,9 +25,16 @@
 /// a wall-clock ThreadedHost per delivery thread.
 ///
 /// Wire protocol:
-///  * Clients broadcast requests to every replica (SMR_REQUEST); whichever
-///    process leads a slot can propose them. Commands are deduplicated by
-///    (client_id, sequence) at apply time.
+///  * Requests reach every replica as SMR_REQUEST; whichever process leads
+///    a slot can propose them. A driver-submitted request is broadcast
+///    directly (submit()); a client-session request is sent to ONE replica
+///    — its gateway — which forwards it to the whole cluster. Commands are
+///    deduplicated by (client_id, sequence) at apply time, which is what
+///    makes a session's retry through a different gateway at-most-once.
+///  * With SmrOptions::num_clients set, every applied command addressed
+///    from a client endpoint is answered with SMR_REPLY{command id, slot,
+///    signed execution result}; f + 1 matching replies complete a request
+///    at the session (smr/reply.hpp, smr/session.hpp).
 ///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, applied
 ///    watermark, snapshot floor, inner}; the watermark gossip lets peers
 ///    prune decided values everyone has applied, and the snapshot-floor
@@ -70,6 +77,17 @@ struct SmrOptions {
 
   /// Largest snapshot-transfer chunk payload (see engine::SlotMuxOptions).
   std::uint32_t snapshot_chunk_bytes = 1024;
+
+  /// Client endpoints attached to the network beyond the n replicas
+  /// (ids n .. n + num_clients - 1; see net::SimNetwork /
+  /// net::ThreadedNetwork extra_endpoints). When nonzero, the node acts
+  /// as a client-facing service replica: SMR_REQUESTs arriving FROM a
+  /// client endpoint are forwarded to the whole cluster (the gateway
+  /// role), and every applied command whose client_id names a client
+  /// endpoint is answered with a signed SMR_REPLY carrying the execution
+  /// result (smr/reply.hpp). 0 preserves the bare replication surface
+  /// (drivers submit through SmrNode::submit and read stores directly).
+  std::uint32_t num_clients = 0;
 
   /// Per-slot consensus/synchronizer tuning.
   runtime::NodeOptions node;
@@ -126,7 +144,8 @@ class SmrNode final : public runtime::IProcess {
 
  private:
   void init_mux(engine::Host& host);
-  void handle_request(const Bytes& payload);
+  void handle_request(ProcessId from, const Bytes& payload);
+  void send_reply(Slot slot, const Command& cmd, ExecResult result);
 
   engine::EngineContext ectx_;
   SmrOptions options_;
