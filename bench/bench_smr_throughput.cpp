@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +10,7 @@
 #include "runtime/threaded_smr_cluster.hpp"
 #include "smr/client.hpp"
 #include "smr/service.hpp"
+#include "smr/shard.hpp"
 #include "smr/smr_node.hpp"
 
 /// Experiment E8d (DESIGN.md §5): replicated state machine throughput on
@@ -31,6 +33,13 @@
 /// Unlike E9 (which counts replica-side applies), E11 pays the full
 /// client path: gateway forwarding, execution, reply signing and quorum
 /// verification per request.
+///
+/// Experiment E13 is the sharding sweep: one replica process hosts S
+/// consensus groups over a hash-partitioned keyspace (SmrOptions::
+/// num_groups), all sharing the node's verification cache and transport.
+/// At a fixed per-group pipeline depth the in-flight slot budget scales
+/// with S, so aggregate wall-clock throughput must too — the scale-out
+/// lever once deepening a single log's pipeline saturates.
 ///
 /// Experiment E10 measures what KV snapshots buy under a crash/recover
 /// schedule (docs/CATCHUP.md): without them, a crashed replica's frozen
@@ -444,6 +453,85 @@ void closed_loop_client_sweep() {
               "applies only)\n");
 }
 
+void sharded_group_sweep() {
+  using namespace std::chrono;
+  constexpr std::uint64_t kCommands = 400;
+  constexpr auto kLinkDelay = microseconds(200);
+  constexpr std::uint32_t kDepth = 2;
+  std::printf("\n=== E13: sharded multi-group SMR throughput (threaded "
+              "runtime, n = 4, f = t = 1, batch = 8, depth = %u, %llu "
+              "commands, %lldus link delay) ===\n",
+              kDepth, static_cast<unsigned long long>(kCommands),
+              static_cast<long long>(kLinkDelay.count()));
+  std::printf("%-8s %-14s %-14s %-14s %-12s %-10s\n", "shards", "wall ms",
+              "cmds/sec", "group spread", "msgs", "speedup");
+  auto key_of = [](std::uint64_t i) {
+    return "key" + std::to_string(i % 64);
+  };
+  double baseline_ms = 0;
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+    runtime::ThreadedSmrClusterOptions options;
+    options.smr.max_batch = 8;
+    options.smr.pipeline_depth = kDepth;
+    options.smr.num_groups = shards;
+    options.link_delay = kLinkDelay;
+    // Keys hash unevenly across groups, so each group gets its own quota
+    // (the shard map is the same pure function the replicas route by).
+    std::vector<std::uint64_t> targets(shards, 0);
+    for (std::uint64_t i = 1; i <= kCommands; ++i) {
+      ++targets[shard_of(key_of(i), shards)];
+    }
+    options.smr.group_targets = targets;
+    runtime::ThreadedSmrCluster cluster(cfg, options);
+    for (std::uint64_t i = 1; i <= kCommands; ++i) {
+      cluster.submit(Command::put(key_of(i), "value-" + std::to_string(i), 1,
+                                  i));
+    }
+    auto begin = steady_clock::now();
+    cluster.start();
+    bool done = cluster.wait_applied(kCommands, seconds(60));
+    double ms = duration_cast<duration<double, std::milli>>(
+                    steady_clock::now() - begin)
+                    .count();
+    cluster.stop();
+    if (!done) {
+      std::printf("%-8u (incomplete after 60s)\n", shards);
+      continue;
+    }
+    if (shards == 1) baseline_ms = ms;
+    std::uint64_t min_share = kCommands, max_share = 0;
+    for (std::uint64_t share : targets) {
+      min_share = std::min(min_share, share);
+      max_share = std::max(max_share, share);
+    }
+    char spread[24];
+    std::snprintf(spread, sizeof(spread), "%llu..%llu",
+                  static_cast<unsigned long long>(min_share),
+                  static_cast<unsigned long long>(max_share));
+    double cmds_per_sec = static_cast<double>(kCommands) / (ms / 1000.0);
+    std::printf("%-8u %-14.1f %-14.0f %-14s %-12llu %-10.2f\n", shards, ms,
+                cmds_per_sec, spread,
+                static_cast<unsigned long long>(
+                    cluster.delivered_messages()),
+                baseline_ms > 0 ? baseline_ms / ms : 0.0);
+    char extra[224];
+    std::snprintf(extra, sizeof(extra),
+                  "\"n\": 4, \"f\": 1, \"t\": 1, \"batch\": 8, \"depth\": %u, "
+                  "\"shards\": %u, \"commands\": %llu, "
+                  "\"link_delay_us\": %lld",
+                  kDepth, shards, static_cast<unsigned long long>(kCommands),
+                  static_cast<long long>(kLinkDelay.count()));
+    g_recorder.add("E13", extra, cmds_per_sec, 0, ms,
+                   cluster.delivered_messages(), 0, 0, 0);
+  }
+  std::printf("(one replica process hosts S independent consensus groups "
+              "over a hash-partitioned keyspace; at fixed depth the "
+              "in-flight slot budget scales with S, overlapping S times "
+              "as many link round-trips — the aggregate-throughput lever "
+              "when deepening one log's pipeline has run out)\n");
+}
+
 void cluster_size_sweep() {
   std::printf("\n=== E8e: SMR throughput by cluster config (batch = 8, "
               "100 commands) ===\n");
@@ -542,7 +630,7 @@ int main(int argc, char** argv) {
       label = need_value("--label");
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--only E8d,E8g,E9,E10,E11,E8e,E8f] "
+                   "usage: %s [--only E8d,E8g,E9,E10,E11,E13,E8e,E8f] "
                    "[--json PATH] [--label NAME]\n",
                    argv[0]);
       return 2;
@@ -559,6 +647,7 @@ int main(int argc, char** argv) {
   if (selected("E9")) fastbft::smr::wall_clock_pipeline_sweep();
   if (selected("E10")) fastbft::smr::snapshot_recovery_sweep();
   if (selected("E11")) fastbft::smr::closed_loop_client_sweep();
+  if (selected("E13")) fastbft::smr::sharded_group_sweep();
   if (selected("E8e")) fastbft::smr::cluster_size_sweep();
   if (selected("E8f")) fastbft::smr::client_latency();
 

@@ -30,7 +30,8 @@ int main() {
                              runtime::Node::DecideCallback) {
     auto node = std::make_unique<smr::SmrNode>(
         ctx, smr_options,
-        [](ProcessId pid, Slot slot, const std::vector<Command>& commands) {
+        [](ProcessId pid, GroupId, Slot slot,
+           const std::vector<Command>& commands) {
           if (pid != 1) return;  // log one replica's view of the log
           for (const auto& cmd : commands) {
             std::printf("  p1 applied [slot %llu] %s\n",

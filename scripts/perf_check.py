@@ -4,17 +4,35 @@ baseline (BENCH_smr.json) and fail on large regressions.
 
 Usage: perf_check.py BASELINE.json CURRENT.json... [--max-regression 0.30]
 
-The reference metric is the E9 (threaded, wall-clock) cmds_per_sec at the
-deepest pipeline depth present in both files. The committed file may hold
-several runs ({"runs": [...]}); the LAST run is the reference. A single-run
-file ({"records": [...]}) is accepted for any argument. Several CURRENT
-files may be passed (repeated measurements); the BEST of them counts, so
-one noisy-neighbor run cannot fail the gate.
+Per-experiment gating: every experiment below that appears in BOTH the
+baseline and the current run is checked at its canonical configuration,
+and ANY of them regressing beyond the threshold fails the gate.
+
+  * E9  — threaded wall-clock pipeline sweep, at the deepest pipeline
+          depth common to both files (the headline single-log number);
+  * E11 — closed-loop client sessions, at the highest common session
+          count (the full-client-path number);
+  * E13 — sharded multi-group sweep, at shards = 4 when both sides have
+          it (else the highest common shard count) — the aggregate
+          scale-out number.
+
+The committed file may hold several runs ({"runs": [...]}); the LAST run
+is the reference. A single-run file ({"records": [...]}) is accepted for
+any argument. Several CURRENT files may be passed (repeated
+measurements); the BEST of them counts per metric, so one noisy-neighbor
+run cannot fail the gate.
 """
 
 import argparse
 import json
 import sys
+
+# experiment -> (config key that parameterizes it, canonical pick)
+EXPERIMENTS = {
+    "E9": ("depth", "max"),
+    "E11": ("sessions", "max"),
+    "E13": ("shards", 4),
+}
 
 
 def load_records(path):
@@ -28,16 +46,22 @@ def load_records(path):
     raise SystemExit(f"{path}: no records found")
 
 
-def e9_by_depth(records):
+def rates_by_param(records, experiment, param):
     out = {}
     for r in records:
-        if r.get("experiment") != "E9":
+        if r.get("experiment") != experiment:
             continue
-        depth = r.get("config", {}).get("depth")
+        value = r.get("config", {}).get(param)
         cps = r.get("cmds_per_sec", 0)
-        if depth is not None and cps > 0:
-            out[depth] = cps
+        if value is not None and cps > 0:
+            out[value] = cps
     return out
+
+
+def pick_param(common, preferred):
+    if preferred == "max":
+        return max(common)
+    return preferred if preferred in common else max(common)
 
 
 def main():
@@ -48,30 +72,46 @@ def main():
     args = ap.parse_args()
 
     base_label, base_records = load_records(args.baseline)
-    base = e9_by_depth(base_records)
+    currents = [load_records(path) for path in args.current]
 
-    best = {}  # depth -> (cmds_per_sec, label)
-    for path in args.current:
-        cur_label, cur_records = load_records(path)
-        for depth, cps in e9_by_depth(cur_records).items():
-            if depth not in best or cps > best[depth][0]:
-                best[depth] = (cps, cur_label)
+    checked = 0
+    failures = []
+    for experiment, (param, preferred) in EXPERIMENTS.items():
+        base = rates_by_param(base_records, experiment, param)
 
-    common = sorted(set(base) & set(best))
-    if not common:
-        raise SystemExit("no common E9 depths between baseline and current")
+        best = {}  # param value -> (cmds_per_sec, label)
+        for cur_label, cur_records in currents:
+            for value, cps in rates_by_param(cur_records, experiment,
+                                             param).items():
+                if value not in best or cps > best[value][0]:
+                    best[value] = (cps, cur_label)
 
-    depth = common[-1]
-    ref = base[depth]
-    now, cur_label = best[depth]
-    ratio = now / ref
-    print(f"E9 depth {depth}: baseline({base_label}) = {ref:.0f} cmds/s, "
-          f"best current({cur_label}) of {len(args.current)} run(s) = "
-          f"{now:.0f} cmds/s, ratio = {ratio:.2f}")
-    if ratio < 1.0 - args.max_regression:
-        print(f"FAIL: regression beyond {args.max_regression:.0%}")
+        common = set(base) & set(best)
+        if not common:
+            print(f"{experiment}: not present in both files, skipped")
+            continue
+
+        value = pick_param(common, preferred)
+        ref = base[value]
+        now, cur_label = best[value]
+        ratio = now / ref
+        checked += 1
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(experiment)
+        print(f"{experiment} {param} {value}: baseline({base_label}) = "
+              f"{ref:.0f} cmds/s, best current({cur_label}) of "
+              f"{len(args.current)} run(s) = {now:.0f} cmds/s, "
+              f"ratio = {ratio:.2f} [{verdict}]")
+
+    if checked == 0:
+        raise SystemExit("no common experiments between baseline and current")
+    if failures:
+        print(f"FAIL: regression beyond {args.max_regression:.0%} in: "
+              f"{', '.join(failures)}")
         return 1
-    print("OK")
+    print(f"OK ({checked} experiment(s) gated)")
     return 0
 
 

@@ -10,6 +10,12 @@ std::atomic<std::uint64_t> g_payload_allocs{0};
 std::atomic<std::uint64_t> g_payload_alloc_bytes{0};
 std::atomic<std::uint64_t> g_envelope_allocs{0};
 std::atomic<std::uint64_t> g_envelope_reuses{0};
+std::atomic<std::uint64_t>
+    g_group_broadcasts[PayloadStats::kMaxTrackedGroups]{};
+
+std::uint32_t clamp_group(std::uint32_t group) {
+  return std::min(group, PayloadStats::kMaxTrackedGroups - 1);
+}
 }  // namespace
 
 void PayloadStats::record_alloc(std::size_t bytes) {
@@ -41,11 +47,24 @@ std::uint64_t PayloadStats::envelope_reuses() {
   return g_envelope_reuses.load(std::memory_order_relaxed);
 }
 
+void PayloadStats::record_group_broadcast(std::uint32_t group) {
+  g_group_broadcasts[clamp_group(group)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadStats::group_broadcasts(std::uint32_t group) {
+  return g_group_broadcasts[clamp_group(group)].load(
+      std::memory_order_relaxed);
+}
+
 void PayloadStats::reset() {
   g_payload_allocs.store(0, std::memory_order_relaxed);
   g_payload_alloc_bytes.store(0, std::memory_order_relaxed);
   g_envelope_allocs.store(0, std::memory_order_relaxed);
   g_envelope_reuses.store(0, std::memory_order_relaxed);
+  for (auto& counter : g_group_broadcasts) {
+    counter.store(0, std::memory_order_relaxed);
+  }
 }
 
 SharedBytes::SharedBytes(Bytes bytes)

@@ -80,6 +80,16 @@ class PayloadStats {
   static std::uint64_t envelope_allocs();
   static std::uint64_t envelope_reuses();
 
+  /// Per-consensus-group wrapped-broadcast accounting (sharded SMR): one
+  /// group_broadcast is recorded per SMR_WRAPPED broadcast a group frames.
+  /// Together with allocs() this makes the amortization claim testable —
+  /// a node hosting G groups must still pay exactly one payload
+  /// materialization per broadcast, for every group (tests/test_hotpath).
+  /// Groups >= kMaxTrackedGroups share the last bucket.
+  static constexpr std::uint32_t kMaxTrackedGroups = 16;
+  static void record_group_broadcast(std::uint32_t group);
+  static std::uint64_t group_broadcasts(std::uint32_t group);
+
   static void reset();
 };
 

@@ -19,6 +19,11 @@ using View = std::uint64_t;
 /// Slot index in the replicated log (SMR layer).
 using Slot = std::uint64_t;
 
+/// 0-based index of a consensus group in a sharded multi-group SMR node.
+/// Every replica hosts the same set of groups; group g owns the keyspace
+/// partition { key : shard_of(key, num_groups) == g } (see smr/shard.hpp).
+using GroupId = std::uint32_t;
+
 /// Simulated time in abstract "ticks". The network delay bound Delta is
 /// expressed in the same unit, so latencies divide cleanly into message
 /// delays.

@@ -96,6 +96,7 @@ std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to) {
   if (!reply_sent_.insert({slot, to}).second) return std::nullopt;
   Encoder enc;
   enc.u8(net::tags::kSmrDecided);
+  enc.u32(group_);
   enc.u64(slot);
   value->encode(enc);
   return std::move(enc).take();
@@ -171,9 +172,10 @@ std::vector<Bytes> CatchUpPolicy::snapshot_chunks() {
   std::vector<Bytes> messages;
   messages.reserve(chunks.size());
   for (std::uint32_t index = 0; index < chunks.size(); ++index) {
-    Encoder enc(1 + 8 + 4 + crypto::kDigestSize + 4 + 4 + 4 +
+    Encoder enc(1 + 4 + 8 + 4 + crypto::kDigestSize + 4 + 4 + 4 +
                 chunks[index].size());
     enc.u8(net::tags::kSmrSnapResponse);
+    enc.u32(group_);
     enc.u64(snap_below_);
     enc.bytes(ByteView(snap_digest_.data(), snap_digest_.size()));
     enc.u32(index);

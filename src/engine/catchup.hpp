@@ -62,10 +62,13 @@ class CatchUpPolicy {
   /// `threshold` is f + 1: the claim/voucher count that proves a decision
   /// or a snapshot. `cluster_size` is n: watermarks are tracked for every
   /// process. `snapshot_chunk_bytes` bounds one SNAPSHOT_RESPONSE payload.
+  /// `group` is stamped into every outgoing SMR_DECIDED / SNAPSHOT_RESPONSE
+  /// so the peer's node routes it to the matching engine (sharded SMR).
   CatchUpPolicy(std::uint32_t threshold, std::uint32_t cluster_size,
-                std::uint32_t snapshot_chunk_bytes = 1024)
+                std::uint32_t snapshot_chunk_bytes = 1024, GroupId group = 0)
       : threshold_(threshold),
         chunk_bytes_(snapshot_chunk_bytes),
+        group_(group),
         watermarks_(cluster_size, 1),
         peer_snap_floors_(cluster_size, 1) {}
 
@@ -172,6 +175,7 @@ class CatchUpPolicy {
 
   std::uint32_t threshold_;
   std::uint32_t chunk_bytes_;
+  GroupId group_;
   std::map<Slot, Value> decided_;
   /// slot -> claimed value bytes -> claimants.
   std::map<Slot, std::map<Bytes, std::set<ProcessId>>> claims_;

@@ -9,16 +9,21 @@ namespace fastbft::engine {
 
 namespace {
 
-/// SMR_WRAPPED{slot, watermark, snapshot floor, inner}: `watermark`
+/// SMR_WRAPPED{group, slot, watermark, snapshot floor, inner}: `group`
+/// sits right after the tag at a fixed offset so a sharded node can route
+/// the payload to the owning engine without decoding the rest; `watermark`
 /// gossips the sender's applied watermark (lowest unapplied slot) on every
 /// wrapped message, so peers can trim decided-value retention below the
 /// cluster-wide minimum; `snap_floor` gossips the sender's latest snapshot
 /// boundary, so a peer whose apply cursor sits below it knows its missing
 /// slots may be pruned and full-state transfer is the way back.
-Bytes wrap(Slot slot, Slot watermark, Slot snap_floor, ByteView inner) {
-  // Exact wire size: tag + three u64 headers + length-prefixed inner.
-  Encoder enc(1 + 8 * 3 + 4 + inner.size());
+Bytes wrap(GroupId group, Slot slot, Slot watermark, Slot snap_floor,
+           ByteView inner) {
+  // Exact wire size: tag + group + three u64 headers + length-prefixed
+  // inner.
+  Encoder enc(1 + 4 + 8 * 3 + 4 + inner.size());
   enc.u8(net::tags::kSmrWrapped);
+  enc.u32(group);
   enc.u64(slot);
   enc.u64(watermark);
   enc.u64(snap_floor);
@@ -57,7 +62,8 @@ SlotMux::SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
       apply_(std::move(apply)),
       hooks_(std::move(hooks)),
       timers_(host_),
-      catchup_(ctx_.cfg.f + 1, ctx_.cfg.n, options_.snapshot_chunk_bytes) {
+      catchup_(ctx_.cfg.f + 1, ctx_.cfg.n, options_.snapshot_chunk_bytes,
+               ctx_.group) {
   FASTBFT_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
   if (!ctx_.verify_cache) {
     ctx_.verify_cache = std::make_shared<crypto::VerificationCache>();
@@ -77,8 +83,8 @@ void SlotMux::start() { fill_window(); }
 bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
 
 void SlotMux::send_wrapped(Slot slot, ProcessId to, ByteView payload) {
-  transport_.send(
-      to, wrap(slot, next_apply_, catchup_.snapshot_floor(), payload));
+  transport_.send(to, wrap(ctx_.group, slot, next_apply_,
+                           catchup_.snapshot_floor(), payload));
 }
 
 void SlotMux::broadcast_wrapped(Slot slot, ByteView payload,
@@ -86,7 +92,8 @@ void SlotMux::broadcast_wrapped(Slot slot, ByteView payload,
   // One wrap per broadcast: the framed buffer is shared by every
   // recipient's envelope instead of re-encoded n times.
   SharedBytes wrapped =
-      wrap(slot, next_apply_, catchup_.snapshot_floor(), payload);
+      wrap(ctx_.group, slot, next_apply_, catchup_.snapshot_floor(), payload);
+  PayloadStats::record_group_broadcast(ctx_.group);
   if (include_self) {
     transport_.broadcast(std::move(wrapped));
   } else {
@@ -235,11 +242,12 @@ void SlotMux::apply_value(Slot slot, const Value& value) {
 void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
+  GroupId group = dec.u32();
   Slot slot = dec.u64();
   Slot watermark = dec.u64();
   Slot snap_floor = dec.u64();
   ByteView inner = dec.bytes_view();  // aliases payload; no copy
-  if (!dec.ok() || !dec.at_end() || slot == 0) return;
+  if (!dec.ok() || !dec.at_end() || slot == 0 || group != ctx_.group) return;
 
   catchup_.note_watermark(from, watermark);
 
@@ -308,9 +316,13 @@ void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
 void SlotMux::on_decided_claim(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
+  GroupId group = dec.u32();
   Slot slot = dec.u64();
   auto value = Value::decode(dec);
-  if (!value || !dec.ok() || !dec.at_end() || slot == 0) return;
+  if (!value || !dec.ok() || !dec.at_end() || slot == 0 ||
+      group != ctx_.group) {
+    return;
+  }
 
   // Honest claims are solicited by our own slot traffic, which never goes
   // beyond the window; claims past it can only be Byzantine flooding, and
@@ -342,6 +354,7 @@ void SlotMux::request_snapshots() {
     }
     Encoder req;
     req.u8(net::tags::kSmrSnapRequest);
+    req.u32(ctx_.group);
     req.u64(next_apply_);
     transport_.send(peer, std::move(req).take());
   }
@@ -350,8 +363,9 @@ void SlotMux::request_snapshots() {
 void SlotMux::on_snapshot_request(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
+  GroupId group = dec.u32();
   Slot their_next_apply = dec.u64();
-  if (!dec.ok() || !dec.at_end()) return;
+  if (!dec.ok() || !dec.at_end() || group != ctx_.group) return;
   // Serve only when our snapshot actually covers slots the requester is
   // missing; otherwise per-slot catch-up (or nothing) is the answer.
   if (catchup_.snapshot_floor() <= their_next_apply) return;
@@ -363,13 +377,14 @@ void SlotMux::on_snapshot_request(ProcessId from, ByteView payload) {
 void SlotMux::on_snapshot_response(ProcessId from, ByteView payload) {
   Decoder dec(payload);
   dec.u8();
+  GroupId group = dec.u32();
   Slot applied_below = dec.u64();
   ByteView digest_bytes = dec.bytes_view();
   std::uint32_t index = dec.u32();
   std::uint32_t count = dec.u32();
   Bytes chunk = dec.bytes();  // retained by the reassembly buffer
   if (!dec.ok() || !dec.at_end() || applied_below == 0 ||
-      digest_bytes.size() != crypto::kDigestSize) {
+      group != ctx_.group || digest_bytes.size() != crypto::kDigestSize) {
     return;
   }
   crypto::Digest digest;

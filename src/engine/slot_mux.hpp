@@ -64,6 +64,13 @@ struct EngineContext {
   std::shared_ptr<const crypto::KeyStore> keys;
   consensus::LeaderFn leader_of;
 
+  /// Consensus group this engine instance runs (sharded SMR: a node hosts
+  /// one SlotMux per group). Stamped into every group-scoped wire message
+  /// (SMR_WRAPPED / SMR_DECIDED / SMR_SNAP_*) right after the tag byte so
+  /// the hosting node can route inbound traffic to the owning engine at a
+  /// fixed offset; inbound payloads for a different group are dropped.
+  GroupId group = 0;
+
   /// Optional in-flight-window gauge sink. Sim-only: NetworkStats is not
   /// thread-safe, so threaded hosts leave it null.
   net::NetworkStats* stats = nullptr;
@@ -150,6 +157,9 @@ class SlotMux {
 
   /// Full SMR_WRAPPED payload: routed by slot through the dispatch table.
   /// The inner message is dispatched as a view into `payload` — no copy.
+  /// Payloads stamped with a different GroupId are dropped (the hosting
+  /// node routes by group before calling, so a mismatch here means a
+  /// malformed or misrouted message).
   void on_wrapped(ProcessId from, ByteView payload);
 
   /// Full SMR_DECIDED payload: catch-up claim bookkeeping and adoption.
@@ -200,6 +210,15 @@ class SlotMux {
   const PendingQueue& pending() const { return pending_; }
   const CatchUpPolicy& catchup() const { return catchup_; }
   const TimerWheel& timers() const { return timers_; }
+
+  /// Group this engine serves (0 in unsharded nodes).
+  GroupId group() const { return ctx_.group; }
+
+  /// The verification memo every slot's Verifier shares. Exposed so tests
+  /// can assert a multi-group node shares ONE cache across its engines.
+  const std::shared_ptr<crypto::VerificationCache>& verify_cache() const {
+    return ctx_.verify_cache;
+  }
 
  private:
   /// Outbound half of a slot's scope: tags every send with the slot so the

@@ -15,12 +15,13 @@ void NetworkStats::record_send(const Bytes& payload) {
   total_messages_ += 1;
   total_bytes_ += payload.size();
 
-  // SMR_WRAPPED carries the slot index right after the tag byte (the
-  // sender's applied watermark and the inner payload follow it);
+  // SMR_WRAPPED carries the group id and slot index right after the tag
+  // byte (the sender's applied watermark and the inner payload follow);
   // attribute the message to its slot.
-  if (tag == tags::kSmrWrapped && payload.size() >= 9) {
+  if (tag == tags::kSmrWrapped && payload.size() >= 13) {
     Decoder dec(payload);
     dec.u8();
+    dec.u32();  // group
     Slot slot = dec.u64();
     if (dec.ok()) {
       TypeStats& ss = by_slot_[slot];

@@ -1,5 +1,8 @@
 #include "runtime/threaded_smr_cluster.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/assert.hpp"
 
 namespace fastbft::runtime {
@@ -14,8 +17,11 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
                                                      cfg.n)),
       leader_of_(consensus::round_robin_leader(cfg.n)),
       smr_options_(options_.smr),
-      applied_count_(cfg.n, 0),
-      applied_slots_(cfg.n),
+      applied_count_(cfg.n, std::vector<std::uint64_t>(
+                                std::max(1u, options_.smr.num_groups), 0)),
+      applied_slots_(cfg.n,
+                     std::vector<std::vector<Slot>>(
+                         std::max(1u, options_.smr.num_groups))),
       snapshot_installs_(cfg.n, 0),
       faulty_(cfg.n, false) {
   smr_options_.node.sync.base_timeout = options_.sync_base_timeout_us;
@@ -33,24 +39,25 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
 }
 
 std::unique_ptr<smr::SmrNode> ThreadedSmrCluster::make_node(ProcessId id) {
-  engine::EngineContext ectx{cfg_, id, keys_, leader_of_,
+  engine::EngineContext ectx{cfg_, id, keys_, leader_of_, /*group=*/0,
                              /*stats=*/nullptr};
   auto node = std::make_unique<smr::SmrNode>(
       *hosts_[id], std::move(ectx), net_.endpoint(id), smr_options_,
-      [this](ProcessId pid, Slot slot,
+      [this](ProcessId pid, GroupId group, Slot slot,
              const std::vector<smr::Command>& commands) {
         std::lock_guard<std::mutex> lock(mutex_);
-        applied_count_[pid] += commands.size();
-        applied_slots_[pid].push_back(slot);
+        applied_count_[pid][group] += commands.size();
+        applied_slots_[pid][group].push_back(slot);
         applied_cv_.notify_all();
       });
   node->set_install_callback(
-      [this](ProcessId pid, const smr::Snapshot& snap) {
+      [this](ProcessId pid, GroupId group, const smr::Snapshot& snap) {
         std::lock_guard<std::mutex> lock(mutex_);
-        // The snapshot subsumes every command below its boundary; the
-        // commit callback keeps adding the slots applied after it.
-        applied_count_[pid] = std::max(applied_count_[pid],
-                                       snap.applied_commands);
+        // The snapshot subsumes every command below its boundary in this
+        // group; the commit callback keeps adding the slots applied after
+        // it.
+        applied_count_[pid][group] =
+            std::max(applied_count_[pid][group], snap.applied_commands);
         ++snapshot_installs_[pid];
         applied_cv_.notify_all();
       });
@@ -78,8 +85,8 @@ void ThreadedSmrCluster::restart(ProcessId id) {
     // The fresh incarnation's log starts empty; it re-earns its applied
     // count through snapshot install + catch-up, and from here on the
     // wait/agreement accounting holds it to the correct-replica bar.
-    applied_count_[id] = 0;
-    applied_slots_[id].clear();
+    for (auto& count : applied_count_[id]) count = 0;
+    for (auto& slots : applied_slots_[id]) slots.clear();
     faulty_[id] = false;
   }
   // The swap, the reconnect and start() all run on `id`'s own delivery
@@ -130,11 +137,16 @@ void ThreadedSmrCluster::submit(const smr::Command& cmd, ProcessId gateway) {
 
 bool ThreadedSmrCluster::wait_applied(std::uint64_t commands,
                                       std::chrono::milliseconds timeout) {
+  auto total = [&](ProcessId id) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t count : applied_count_[id]) sum += count;
+    return sum;
+  };
   std::unique_lock<std::mutex> lock(mutex_);
   return applied_cv_.wait_for(lock, timeout, [&] {
     for (ProcessId id = 0; id < cfg_.n; ++id) {
       if (faulty_[id]) continue;
-      if (applied_count_[id] < commands) return false;
+      if (total(id) < commands) return false;
     }
     return true;
   });
@@ -142,12 +154,15 @@ bool ThreadedSmrCluster::wait_applied(std::uint64_t commands,
 
 std::uint64_t ThreadedSmrCluster::applied_commands(ProcessId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return applied_count_[id];
+  std::uint64_t sum = 0;
+  for (std::uint64_t count : applied_count_[id]) sum += count;
+  return sum;
 }
 
-std::vector<Slot> ThreadedSmrCluster::applied_slots(ProcessId id) const {
+std::vector<Slot> ThreadedSmrCluster::applied_slots(ProcessId id,
+                                                    GroupId group) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return applied_slots_[id];
+  return applied_slots_[id][group];
 }
 
 bool ThreadedSmrCluster::is_faulty(ProcessId id) const {
@@ -162,13 +177,13 @@ std::uint64_t ThreadedSmrCluster::snapshots_installed(ProcessId id) const {
 
 bool ThreadedSmrCluster::correct_stores_agree() const {
   FASTBFT_ASSERT(stopped_, "store introspection only after stop()");
-  const smr::KvStore* first = nullptr;
+  std::optional<crypto::Digest> first;
   for (ProcessId id = 0; id < cfg_.n; ++id) {
     if (faulty_[id]) continue;
-    if (first == nullptr) {
-      first = &nodes_[id]->store();
-    } else if (nodes_[id]->store().state_digest() !=
-               first->state_digest()) {
+    crypto::Digest digest = nodes_[id]->state_digest();
+    if (!first) {
+      first = digest;
+    } else if (digest != *first) {
       return false;
     }
   }

@@ -99,11 +99,12 @@ class ThreadedSmrCluster {
 
   // --- Thread-safe snapshots -------------------------------------------------
 
+  /// Applied commands summed over every group this process hosts.
   std::uint64_t applied_commands(ProcessId id) const;
 
-  /// Slots in the order this process applied them (the in-order-apply
-  /// property holds iff this is 1, 2, 3, ...).
-  std::vector<Slot> applied_slots(ProcessId id) const;
+  /// Slots in the order this process applied them in `group` (the
+  /// in-order-apply property holds iff this is 1, 2, 3, ... per group).
+  std::vector<Slot> applied_slots(ProcessId id, GroupId group = 0) const;
 
   bool is_faulty(ProcessId id) const;
   std::uint64_t delivered_messages() const { return net_.delivered_count(); }
@@ -120,9 +121,9 @@ class ThreadedSmrCluster {
   smr::SmrNode& node(ProcessId id) { return *nodes_[id]; }
   const smr::SmrNode& node(ProcessId id) const { return *nodes_[id]; }
 
-  /// True iff every correct process's KV store digest is identical.
-  /// Meaningful after a successful wait_applied (all correct processes
-  /// applied the same command set); only valid after stop().
+  /// True iff every correct process's cross-group state digest is
+  /// identical. Meaningful after a successful wait_applied (all correct
+  /// processes applied the same command set); only valid after stop().
   bool correct_stores_agree() const;
 
   const consensus::QuorumConfig& config() const { return cfg_; }
@@ -150,8 +151,12 @@ class ThreadedSmrCluster {
 
   mutable std::mutex mutex_;
   std::condition_variable applied_cv_;
-  std::vector<std::uint64_t> applied_count_;
-  std::vector<std::vector<Slot>> applied_slots_;
+  /// Per-process, per-group applied-command counts ([id][group]); totals
+  /// are summed on read so multi-group snapshot installs (which reset one
+  /// group's count, not the node's) stay correct.
+  std::vector<std::vector<std::uint64_t>> applied_count_;
+  /// Per-process, per-group applied slot order ([id][group]).
+  std::vector<std::vector<std::vector<Slot>>> applied_slots_;
   std::vector<std::uint64_t> snapshot_installs_;
   std::vector<bool> faulty_;
   bool started_ = false;

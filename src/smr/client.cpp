@@ -13,7 +13,7 @@ Client::Client(std::uint64_t client_id, std::uint32_t f,
 }
 
 SmrNode::CommitCallback Client::subscription() {
-  return [this](ProcessId pid, Slot slot,
+  return [this](ProcessId pid, GroupId /*group*/, Slot slot,
                 const std::vector<Command>& commands) {
     for (const Command& cmd : commands) {
       if (cmd.client_id != client_id_) continue;

@@ -22,6 +22,14 @@
 namespace fastbft::smr {
 
 struct Reply {
+  /// How the request concluded at the SESSION. Local-only — never on the
+  /// wire: replicas always report executions (Ok); Timeout is synthesized
+  /// by the session itself when a request's deadline budget expires before
+  /// an f + 1 reply quorum arrives (SessionConfig::request_deadline). A
+  /// Timeout reply carries slot 0 and a default result; the command may
+  /// still execute later (at-most-once, not exactly-never).
+  enum class Status : std::uint8_t { Ok = 0, Timeout = 1 };
+
   /// Echo of the request identity (the client's at-most-once id).
   std::uint64_t client_id = 0;
   std::uint64_t sequence = 0;
@@ -32,6 +40,13 @@ struct Reply {
   /// Echo of the operation, plus its execution result.
   OpKind op = OpKind::Noop;
   ExecResult result;
+
+  /// See Status above. Last field so replica-side aggregate inits (which
+  /// never set it) keep their positional form; defaults to Ok.
+  Status status = Status::Ok;
+
+  bool ok() const { return status == Status::Ok && result.ok; }
+  bool timed_out() const { return status == Status::Timeout; }
 
   /// Identity of the matching rule: replies agreeing on this digest agree
   /// on the execution — the slot and the full result.

@@ -1,5 +1,6 @@
 #include "smr/service.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -25,7 +26,9 @@ SessionConfig make_session_config(const ServiceConfig& config,
   scfg.n = config.cluster.n;
   scfg.f = config.cluster.f;
   scfg.first_gateway = (config.first_gateway + index) % config.cluster.n;
+  scfg.num_shards = std::max(1u, config.smr.num_groups);
   scfg.request_timeout = timeout;
+  scfg.request_deadline = config.request_deadline;
   scfg.max_in_flight = config.max_in_flight;
   scfg.keys = std::move(keys);
   return scfg;
@@ -126,8 +129,7 @@ class SimService final : public Service {
       if (cluster_->is_faulty(id)) continue;
       if (first == nullptr) {
         first = nodes_[id];
-      } else if (nodes_[id]->store().state_digest() !=
-                 first->store().state_digest()) {
+      } else if (nodes_[id]->state_digest() != first->state_digest()) {
         return false;
       }
     }

@@ -45,6 +45,12 @@ struct ServiceConfig {
   /// session fails over to the next gateway and resubmits.
   Duration request_timeout = 0;
 
+  /// Total per-request budget in host ticks (0 = unlimited): a request
+  /// still unresolved after this long completes with
+  /// Reply::Status::Timeout instead of failing over forever
+  /// (SessionConfig::request_deadline).
+  Duration request_deadline = 0;
+
   /// Per-session submission window (bounded in-flight backpressure).
   std::uint32_t max_in_flight = 8;
 
@@ -88,8 +94,18 @@ struct ServiceConfig {
     smr.rotate_leaders = rotate;
     return *this;
   }
+  /// Hash-partition the keyspace over `shards` consensus groups (sharded
+  /// SMR; sessions route per key, replicas host one engine per group).
+  ServiceConfig& with_shards(std::uint32_t shards) {
+    smr.num_groups = shards;
+    return *this;
+  }
   ServiceConfig& with_request_timeout(Duration ticks) {
     request_timeout = ticks;
+    return *this;
+  }
+  ServiceConfig& with_deadline(Duration ticks) {
+    request_deadline = ticks;
     return *this;
   }
   ServiceConfig& with_window(std::uint32_t in_flight) {

@@ -1,5 +1,7 @@
 #include "smr/session.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "net/tags.hpp"
 #include "smr/smr_node.hpp"
@@ -17,7 +19,15 @@ ClientSession::ClientSession(engine::Host& host,
   FASTBFT_ASSERT(config_.max_in_flight >= 1, "window must admit a request");
   FASTBFT_ASSERT(endpoint_->self() >= config_.n,
                  "sessions live on client endpoints, not replica ids");
-  preferred_gateway_ = config_.first_gateway % config_.n;
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  // Stagger the initial per-shard gateways so a multi-shard session
+  // spreads its forwarding load instead of funnelling every shard through
+  // one replica.
+  preferred_gateways_.resize(config_.num_shards);
+  for (std::uint32_t shard = 0; shard < config_.num_shards; ++shard) {
+    preferred_gateways_[shard] =
+        (config_.first_gateway + shard) % config_.n;
+  }
 }
 
 ClientSession::~ClientSession() { *alive_ = false; }
@@ -40,6 +50,39 @@ Future<Reply> ClientSession::cas(std::string key, std::string expected,
                              std::move(value)));
 }
 
+Future<std::vector<Reply>> ClientSession::mget(
+    std::vector<std::string> keys) {
+  // Client-side fan-out: one independent single-key read per key, each
+  // routed to its own shard; the aggregate completes when the last one
+  // does. Per-read linearizability only — no cross-shard snapshot.
+  struct FanOut {
+    std::mutex mutex;
+    std::vector<Reply> replies;
+    std::size_t remaining = 0;
+    Promise<std::vector<Reply>> promise;
+  };
+  auto fan = std::make_shared<FanOut>();
+  fan->replies.resize(keys.size());
+  fan->remaining = keys.size();
+  Future<std::vector<Reply>> future = fan->promise.future();
+  if (keys.empty()) {
+    fan->promise.set({});
+    return future;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    get(keys[i]).on_ready([fan, i](const Reply& reply) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(fan->mutex);
+        fan->replies[i] = reply;
+        last = (--fan->remaining == 0);
+      }
+      if (last) fan->promise.set(std::move(fan->replies));
+    });
+  }
+  return future;
+}
+
 Future<Reply> ClientSession::submit(Command cmd) {
   Promise<Reply> promise;
   Future<Reply> future = promise.future();
@@ -53,8 +96,14 @@ Future<Reply> ClientSession::submit(Command cmd) {
     std::uint64_t sequence = next_sequence_++;
     cmd.sequence = sequence;
     Request& request = requests_[sequence];
+    request.shard = shard_of(cmd.key, config_.num_shards);
     request.cmd = std::move(cmd);
     request.promise = std::move(promise);
+    // The deadline budget starts at submission, not first dispatch: time
+    // spent queued behind the window counts against the request too.
+    if (config_.request_deadline > 0) {
+      request.deadline = host_.now() + config_.request_deadline;
+    }
     admit(sequence);
   });
   return future;
@@ -74,14 +123,22 @@ void ClientSession::admit(std::uint64_t sequence) {
 void ClientSession::dispatch(Request& request) {
   // Gateway is chosen at dispatch time, not frozen at submit: a request
   // drained from the window queue after a failover must target the
-  // gateway the session currently trusts, not one it already learned is
+  // gateway its SHARD currently trusts, not one it already learned is
   // dead.
-  request.gateway = preferred_gateway_;
+  request.gateway = preferred_gateways_[request.shard];
   endpoint_->send(request.gateway,
                   SmrNode::encode_request(request.cmd));
   std::uint64_t sequence = request.cmd.sequence;
-  request.timer = host_.schedule_after(
-      config_.request_timeout, [this, alive = alive_, sequence] {
+  // The retry timer never overshoots the deadline: the final arm fires
+  // exactly when the budget runs out, so a Timeout verdict is never late
+  // by up to a full retry period.
+  Duration wait = config_.request_timeout;
+  if (request.deadline != 0) {
+    wait = std::min(wait, std::max<Duration>(1, request.deadline -
+                                                    host_.now()));
+  }
+  request.timer =
+      host_.schedule_after(wait, [this, alive = alive_, sequence] {
         if (*alive) on_timeout(sequence);
       });
 }
@@ -90,15 +147,43 @@ void ClientSession::on_timeout(std::uint64_t sequence) {
   auto it = requests_.find(sequence);
   if (it == requests_.end()) return;  // completed; stale timer
   Request& request = it->second;
+  if (request.deadline != 0 && host_.now() >= request.deadline) {
+    // Budget exhausted — likely a whole shard quorum down, which no
+    // amount of gateway rotation cures. Fail cleanly instead of retrying
+    // forever; the command may still execute later (at-most-once holds).
+    fail_with_timeout(sequence);
+    return;
+  }
   // The quorum did not arrive in time: the gateway may have crashed
   // before forwarding, or the request/replies are just slow. Fail over to
-  // the next gateway and resubmit the IDENTICAL command — (client_id,
-  // sequence) dedup at apply time makes the retry at-most-once, and any
-  // reply quorum (from either copy) completes the request. Future
-  // requests start at the new gateway too.
+  // the shard's next gateway and resubmit the IDENTICAL command —
+  // (client_id, sequence) dedup at apply time makes the retry
+  // at-most-once, and any reply quorum (from either copy) completes the
+  // request. Future requests for this shard start at the new gateway too.
   failovers_.fetch_add(1);
-  preferred_gateway_ = (request.gateway + 1) % config_.n;
+  preferred_gateways_[request.shard] = (request.gateway + 1) % config_.n;
   dispatch(request);
+}
+
+void ClientSession::fail_with_timeout(std::uint64_t sequence) {
+  auto it = requests_.find(sequence);
+  if (it == requests_.end()) return;
+  Request& request = it->second;
+  Reply verdict;
+  verdict.client_id = id();
+  verdict.sequence = sequence;
+  verdict.op = request.cmd.kind;
+  verdict.result.ok = false;
+  verdict.status = Reply::Status::Timeout;
+  Promise<Reply> promise = std::move(request.promise);
+  request.timer.cancel();
+  requests_.erase(it);
+  in_flight_.erase(sequence);
+  in_flight_gauge_.store(in_flight_.size());
+  deadline_timeouts_.fetch_add(1);
+  refill_window();
+  // Complete LAST, like handle_reply: the future callback may re-enter.
+  promise.set(std::move(verdict));
 }
 
 void ClientSession::on_message(ProcessId from, const Bytes& payload) {

@@ -6,11 +6,13 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "engine/host.hpp"
 #include "net/transport.hpp"
 #include "smr/future.hpp"
 #include "smr/reply.hpp"
+#include "smr/shard.hpp"
 
 /// \file session.hpp
 /// Client session for the replicated KV service: the host-agnostic half of
@@ -53,11 +55,25 @@ struct SessionConfig {
   /// First gateway tried by a fresh session (wraps modulo n).
   ProcessId first_gateway = 0;
 
+  /// Consensus groups the cluster hosts (must equal the replicas'
+  /// SmrOptions::num_groups). The session routes each request to its
+  /// key's owning shard (smr/shard.hpp) and keeps an independent
+  /// preferred gateway per shard, so one crashed shard gateway never
+  /// drags the other shards' requests through its failover rotation.
+  std::uint32_t num_shards = 1;
+
   /// Per-request completion timeout in host ticks (simulator ticks / µs
   /// on the threaded host); on expiry the request fails over to the next
   /// gateway and the timer re-arms. Retries continue until completion —
   /// the driver bounds the wait, the protocol guarantees at-most-once.
   Duration request_timeout = 4000;
+
+  /// Total per-request budget in host ticks (0 = unlimited). A request
+  /// still unresolved when the budget expires completes its future with
+  /// Reply::Status::Timeout instead of rotating through gateways forever
+  /// — the clean failure mode when a whole shard's quorum is down. The
+  /// command may still execute later; at-most-once dedup still holds.
+  Duration request_deadline = 0;
 
   /// Submission window: requests outstanding at once before the session
   /// queues internally. >= 1.
@@ -92,6 +108,12 @@ class ClientSession {
   /// `expected`; Reply::result.ok reports the outcome.
   Future<Reply> cas(std::string key, std::string expected, std::string value);
 
+  /// Multi-key read: fans out one get() per key (each routed to its own
+  /// shard) and completes when ALL have. Replies arrive in `keys` order.
+  /// Each read is individually linearizable within its shard; the batch
+  /// as a whole is NOT a cross-shard snapshot (docs/SHARDING.md).
+  Future<std::vector<Reply>> mget(std::vector<std::string> keys);
+
   /// Network entry point; attach as the client endpoint's receive handler.
   void on_message(ProcessId from, const Bytes& payload);
 
@@ -101,6 +123,12 @@ class ClientSession {
 
   /// Timeouts fired: every one rotated the gateway and resubmitted.
   std::uint64_t failovers() const { return failovers_.load(); }
+
+  /// Requests that exhausted their deadline budget and completed with
+  /// Reply::Status::Timeout.
+  std::uint64_t deadline_timeouts() const {
+    return deadline_timeouts_.load();
+  }
 
   /// Replies dropped for bad signatures / malformed payloads / unknown
   /// sequences (late duplicates land here too).
@@ -115,6 +143,10 @@ class ClientSession {
     Promise<Reply> promise;
     sim::TimerHandle timer;
     ProcessId gateway = 0;
+    /// Owning shard of cmd.key; indexes the per-shard gateway table.
+    GroupId shard = 0;
+    /// Absolute host-clock give-up point (0 = no deadline).
+    TimePoint deadline = 0;
     /// (slot, result digest) -> distinct signed voters, plus the reply
     /// that will resolve the future when its key crosses f + 1. Each
     /// replica funds at most ONE live vote (a later, different reply
@@ -129,6 +161,7 @@ class ClientSession {
   void admit(std::uint64_t sequence);    // dispatch or queue (host thread)
   void dispatch(Request& request);       // send + arm timer (host thread)
   void on_timeout(std::uint64_t sequence);
+  void fail_with_timeout(std::uint64_t sequence);  // deadline exhausted
   void handle_reply(ProcessId from, const Reply& reply);
   void refill_window();
 
@@ -138,13 +171,17 @@ class ClientSession {
   crypto::Verifier verifier_;
 
   std::uint64_t next_sequence_ = 1;
-  ProcessId preferred_gateway_ = 0;
+  /// Preferred gateway per shard (index = GroupId): a timeout rotates
+  /// only its own shard's entry, so failover on a dead shard never
+  /// perturbs healthy shards' routing.
+  std::vector<ProcessId> preferred_gateways_;
   std::map<std::uint64_t, Request> requests_;  // sequence -> state
   std::deque<std::uint64_t> waiting_;          // beyond-window queue
   std::set<std::uint64_t> in_flight_;          // dispatched sequences
 
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> deadline_timeouts_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> in_flight_gauge_{0};
   std::atomic<std::uint64_t> queued_gauge_{0};

@@ -1,0 +1,19 @@
+#include "smr/shard.hpp"
+
+namespace fastbft::smr {
+
+std::uint64_t shard_hash(std::string_view key) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+GroupId shard_of(std::string_view key, std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<GroupId>(shard_hash(key) % num_shards);
+}
+
+}  // namespace fastbft::smr

@@ -8,13 +8,13 @@ namespace fastbft::smr {
 
 SmrNode::SmrNode(const runtime::ProcessContext& ctx, SmrOptions options,
                  CommitCallback on_commit)
-    : ectx_{ctx.cfg, ctx.id, ctx.keys, ctx.leader_of,
+    : ectx_{ctx.cfg, ctx.id, ctx.keys, ctx.leader_of, /*group=*/0,
             ctx.network != nullptr ? &ctx.network->stats() : nullptr},
       options_(std::move(options)),
       on_commit_(std::move(on_commit)),
       owned_host_(std::make_unique<engine::SimHost>(*ctx.scheduler)),
       endpoint_(ctx.network->endpoint(ctx.id)) {
-  init_mux(*owned_host_);
+  init_groups(*owned_host_);
 }
 
 SmrNode::SmrNode(engine::Host& host, engine::EngineContext ectx,
@@ -24,44 +24,73 @@ SmrNode::SmrNode(engine::Host& host, engine::EngineContext ectx,
       options_(std::move(options)),
       on_commit_(std::move(on_commit)),
       endpoint_(std::move(endpoint)) {
-  init_mux(host);
+  init_groups(host);
 }
 
-void SmrNode::init_mux(engine::Host& host) {
+void SmrNode::init_groups(engine::Host& host) {
+  FASTBFT_ASSERT(options_.num_groups >= 1, "num_groups must be >= 1");
+
+  // ONE verification memo for the whole node, shared by every group's
+  // engine: a multi-group node must amortize signature verification
+  // across groups, not duplicate the cache per group.
+  if (!ectx_.verify_cache) {
+    ectx_.verify_cache = std::make_shared<crypto::VerificationCache>();
+  }
+
   engine::SlotMuxOptions mux_options;
   mux_options.pipeline_depth = options_.pipeline_depth;
   mux_options.max_batch = options_.max_batch;
-  mux_options.target_commands = options_.target_commands;
-  mux_options.rotate_leaders = options_.rotate_leaders;
+  mux_options.rotate_leaders =
+      options_.rotate_leaders.value_or(options_.num_groups > 1);
   mux_options.max_reorder_backlog = options_.max_reorder_backlog;
   mux_options.snapshot_interval = options_.snapshot_interval;
   mux_options.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
   mux_options.replica = options_.node.replica;
   mux_options.sync = options_.node.sync;
-  engine::SnapshotHooks hooks;
-  hooks.state = [this] { return store_.serialize(); };
-  hooks.install = [this](const Snapshot& snap) {
-    bool restored = store_.restore(snap.kv_state);
-    // The body already passed digest verification against f + 1 vouchers;
-    // a malformed KV image here would mean a broken snapshot encoder.
-    FASTBFT_ASSERT(restored, "verified snapshot failed to restore");
-    if (on_install_) on_install_(ectx_.id, snap);
-  };
-  mux_ = std::make_unique<engine::SlotMux>(
-      host, ectx_, *endpoint_, mux_options,
-      [this](Slot slot, const std::vector<Command>& applied) {
-        for (const auto& cmd : applied) {
-          ExecResult result = store_.apply(cmd);
-          send_reply(slot, cmd, std::move(result));
-        }
-        if (on_commit_) on_commit_(ectx_.id, slot, applied);
-      },
-      std::move(hooks));
+
+  groups_.reserve(options_.num_groups);
+  for (GroupId g = 0; g < options_.num_groups; ++g) {
+    auto group = std::make_unique<Group>();
+    Group* grp = group.get();
+
+    engine::EngineContext gctx = ectx_;
+    gctx.group = g;
+
+    engine::SlotMuxOptions gopts = mux_options;
+    gopts.target_commands = g < options_.group_targets.size()
+                                ? options_.group_targets[g]
+                                : options_.target_commands;
+
+    engine::SnapshotHooks hooks;
+    hooks.state = [grp] { return grp->store.serialize(); };
+    hooks.install = [this, grp, g](const Snapshot& snap) {
+      bool restored = grp->store.restore(snap.kv_state);
+      // The body already passed digest verification against f + 1
+      // vouchers; a malformed KV image here would mean a broken snapshot
+      // encoder.
+      FASTBFT_ASSERT(restored, "verified snapshot failed to restore");
+      if (on_install_) on_install_(ectx_.id, g, snap);
+    };
+
+    group->mux = std::make_unique<engine::SlotMux>(
+        host, std::move(gctx), *endpoint_, std::move(gopts),
+        [this, grp, g](Slot slot, const std::vector<Command>& applied) {
+          for (const auto& cmd : applied) {
+            ExecResult result = grp->store.apply(cmd);
+            send_reply(slot, cmd, std::move(result));
+          }
+          if (on_commit_) on_commit_(ectx_.id, g, slot, applied);
+        },
+        std::move(hooks));
+    groups_.push_back(std::move(group));
+  }
 }
 
 SmrNode::~SmrNode() = default;
 
-void SmrNode::start() { mux_->start(); }
+void SmrNode::start() {
+  for (auto& group : groups_) group->mux->start();
+}
 
 Bytes SmrNode::encode_request(const Command& cmd) {
   Encoder enc;
@@ -76,21 +105,34 @@ void SmrNode::submit(const Command& cmd) {
 
 void SmrNode::on_message(ProcessId from, const Bytes& payload) {
   if (payload.empty()) return;
-  switch (payload[0]) {
-    case net::tags::kSmrRequest:
-      handle_request(from, payload);
-      return;
+  std::uint8_t tag = payload[0];
+  if (tag == net::tags::kSmrRequest) {
+    handle_request(from, payload);
+    return;
+  }
+
+  // Every group-scoped tag carries the GroupId right after the tag byte;
+  // peek it here and route the full payload to the owning engine (which
+  // re-checks it during its own decode).
+  if (payload.size() < 5) return;
+  Decoder peek(payload);
+  peek.u8();
+  GroupId group = peek.u32();
+  if (!peek.ok() || group >= groups_.size()) return;
+  engine::SlotMux& mux = *groups_[group]->mux;
+
+  switch (tag) {
     case net::tags::kSmrWrapped:
-      mux_->on_wrapped(from, payload);
+      mux.on_wrapped(from, payload);
       return;
     case net::tags::kSmrDecided:
-      mux_->on_decided_claim(from, payload);
+      mux.on_decided_claim(from, payload);
       return;
     case net::tags::kSmrSnapRequest:
-      mux_->on_snapshot_request(from, payload);
+      mux.on_snapshot_request(from, payload);
       return;
     case net::tags::kSmrSnapResponse:
-      mux_->on_snapshot_response(from, payload);
+      mux.on_snapshot_response(from, payload);
       return;
     default:
       return;
@@ -111,7 +153,32 @@ void SmrNode::handle_request(ProcessId from, const Bytes& payload) {
     // sender and do not forward again), then admit it locally.
     endpoint_->broadcast_others(payload);
   }
-  mux_->submit(*cmd);
+  // Admit into the group that owns the command's key — every replica
+  // computes the same shard locally, so a command is only ever proposed
+  // in its owning group's log.
+  groups_[group_of(cmd->key)]->mux->submit(*cmd);
+}
+
+crypto::Digest SmrNode::state_digest() const {
+  if (groups_.size() == 1) return groups_[0]->store.state_digest();
+  crypto::Sha256 hasher;
+  for (const auto& group : groups_) {
+    crypto::Digest d = group->store.state_digest();
+    hasher.update(d.data(), d.size());
+  }
+  return hasher.finalize();
+}
+
+std::uint64_t SmrNode::applied_commands() const {
+  std::uint64_t total = 0;
+  for (const auto& group : groups_) total += group->mux->applied_commands();
+  return total;
+}
+
+std::uint64_t SmrNode::noop_slots() const {
+  std::uint64_t total = 0;
+  for (const auto& group : groups_) total += group->mux->noop_slots();
+  return total;
 }
 
 void SmrNode::send_reply(Slot slot, const Command& cmd, ExecResult result) {

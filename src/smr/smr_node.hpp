@@ -1,10 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "engine/slot_mux.hpp"
 #include "runtime/cluster.hpp"
 #include "smr/kvstore.hpp"
+#include "smr/shard.hpp"
 
 /// \file smr_node.hpp
 /// State machine replication on top of the slot-multiplexed consensus
@@ -12,11 +15,22 @@
 /// single-shot instance of the paper's protocol, applied in slot order to
 /// a deterministic KV store.
 ///
-/// SmrNode is deliberately thin: it owns the network endpoint, the KV
-/// state machine and the client-facing API (submit/commit callback), and
-/// delegates everything slot-shaped — window management, dispatch,
-/// pending-queue/dedup policy, reorder buffering, SMR_DECIDED catch-up —
-/// to engine::SlotMux.
+/// SmrNode is deliberately thin: it owns the network endpoint, the
+/// per-group KV state machines and the client-facing API (submit/commit
+/// callback), and delegates everything slot-shaped — window management,
+/// dispatch, pending-queue/dedup policy, reorder buffering, SMR_DECIDED
+/// catch-up — to engine::SlotMux.
+///
+/// Sharding (num_groups > 1): the node hosts one independent SlotMux +
+/// KvStore per consensus group over the SAME endpoint, keys and leader
+/// function. The keyspace is hash-partitioned (smr/shard.hpp): an
+/// SMR_REQUEST is admitted only into the group that owns its command's
+/// key, and group-scoped replication traffic carries a GroupId right
+/// after the tag byte so on_message can route it without a full decode.
+/// Per-node resources stay shared across groups — one VerificationCache
+/// (EngineContext::verify_cache is created once here and handed to every
+/// engine), one endpoint, one delivery thread — so crypto and allocation
+/// costs amortize instead of multiplying by S (docs/SHARDING.md).
 ///
 /// The shell is host-agnostic like the engine underneath it: the
 /// ProcessContext constructor runs it on the deterministic simulator
@@ -35,13 +49,14 @@
 ///    from a client endpoint is answered with SMR_REPLY{command id, slot,
 ///    signed execution result}; f + 1 matching replies complete a request
 ///    at the session (smr/reply.hpp, smr/session.hpp).
-///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{slot, applied
-///    watermark, snapshot floor, inner}; the watermark gossip lets peers
-///    prune decided values everyone has applied, and the snapshot-floor
-///    gossip tells laggards when those slots are gone for good.
+///  * A slot's consensus traffic is wrapped in SMR_WRAPPED{group, slot,
+///    applied watermark, snapshot floor, inner}; the watermark gossip lets
+///    peers prune decided values everyone has applied, and the
+///    snapshot-floor gossip tells laggards when those slots are gone for
+///    good.
 ///  * A replica receiving slot-s traffic after deciding s replies with
-///    SMR_DECIDED{s, value}; f + 1 matching claims let a laggard adopt the
-///    decision.
+///    SMR_DECIDED{group, s, value}; f + 1 matching claims let a laggard
+///    adopt the decision.
 ///  * A replica whose apply cursor sits below a peer's gossiped snapshot
 ///    floor sends SNAPSHOT_REQUEST; the peer answers with its latest
 ///    snapshot chunked into SNAPSHOT_RESPONSE messages. f + 1 matching
@@ -55,15 +70,33 @@ struct SmrOptions {
   std::uint32_t max_batch = 8;
 
   /// Stop starting new slots once this many commands were applied
-  /// (0 = never stop; the driver bounds the run instead).
+  /// (0 = never stop; the driver bounds the run instead). With multiple
+  /// groups this is each group's individual target unless group_targets
+  /// overrides it.
   std::uint64_t target_commands = 0;
+
+  /// Consensus groups hosted by this node (hash-partitioned keyspace;
+  /// see smr/shard.hpp). 1 = the unsharded single-log behaviour. Must be
+  /// identical on every replica.
+  std::uint32_t num_groups = 1;
+
+  /// Per-group target_commands override (index = GroupId). Needed by
+  /// bounded drivers: keys hash unevenly, so each group must stop at ITS
+  /// share of the workload, not at a uniform count. Empty = every group
+  /// uses target_commands.
+  std::vector<std::uint64_t> group_targets;
 
   /// Consensus slots run concurrently (1 = strictly sequential slots,
   /// the pre-engine behaviour). See engine::SlotMuxOptions.
   std::uint32_t pipeline_depth = 1;
 
   /// Rotate the view-1 leader by slot index (see engine::SlotMuxOptions).
-  bool rotate_leaders = false;
+  /// Unset = automatic: rotation is ON for multi-group runs (S groups x
+  /// depth slots all led by the same process would concentrate proposal
+  /// load exactly where sharding should spread it) and OFF for single
+  /// groups (the paper's single-shot experiments assume a slot-independent
+  /// leader function). Tests that pin a fixed leader set this explicitly.
+  std::optional<bool> rotate_leaders;
 
   /// Reorder-backlog congestion clamp (see engine::SlotMuxOptions;
   /// 0 = disabled).
@@ -95,14 +128,18 @@ struct SmrOptions {
 
 class SmrNode final : public runtime::IProcess {
  public:
-  /// Called after each slot is applied on this replica.
-  using CommitCallback = std::function<void(
-      ProcessId pid, Slot slot, const std::vector<Command>& commands)>;
+  /// Called after each slot is applied on this replica. `group` is the
+  /// consensus group that applied it (0 in unsharded nodes); slots are
+  /// per-group sequences, so (group, slot) is the log position.
+  using CommitCallback =
+      std::function<void(ProcessId pid, GroupId group, Slot slot,
+                         const std::vector<Command>& commands)>;
 
-  /// Called after a transferred snapshot is installed (the store already
-  /// restored). Lets harnesses account for the slots the replica skipped.
-  using InstallCallback =
-      std::function<void(ProcessId pid, const Snapshot& snapshot)>;
+  /// Called after a transferred snapshot is installed in `group` (the
+  /// group's store already restored). Lets harnesses account for the
+  /// slots the replica skipped.
+  using InstallCallback = std::function<void(ProcessId pid, GroupId group,
+                                             const Snapshot& snapshot)>;
 
   /// Simulator shell: builds a SimHost over the cluster scheduler and a
   /// SimNetwork endpoint from the process context.
@@ -134,16 +171,47 @@ class SmrNode final : public runtime::IProcess {
   /// requests without a wire hop, e.g. pre-start seeding).
   static Bytes encode_request(const Command& cmd);
 
-  const KvStore& store() const { return store_; }
-  Slot current_slot() const { return mux_->highest_started(); }
-  std::uint64_t applied_commands() const { return mux_->applied_commands(); }
-  std::uint64_t noop_slots() const { return mux_->noop_slots(); }
+  /// Groups hosted by this node (>= 1; identical cluster-wide).
+  std::uint32_t num_groups() const {
+    return static_cast<std::uint32_t>(groups_.size());
+  }
 
-  /// The underlying consensus engine (tests, benchmarks).
-  const engine::SlotMux& engine() const { return *mux_; }
+  /// Owning group of `key` on this node.
+  GroupId group_of(std::string_view key) const {
+    return shard_of(key, num_groups());
+  }
+
+  /// Group g's state machine (g = 0 is the whole store when unsharded).
+  const KvStore& store(GroupId group = 0) const {
+    return groups_[group]->store;
+  }
+
+  /// SHA-256 over every group's state digest, in group order: equal
+  /// digests mean equal replica states across ALL shards.
+  crypto::Digest state_digest() const;
+
+  Slot current_slot(GroupId group = 0) const {
+    return groups_[group]->mux->highest_started();
+  }
+
+  /// Applied commands summed over every group.
+  std::uint64_t applied_commands() const;
+
+  /// No-op slots summed over every group.
+  std::uint64_t noop_slots() const;
+
+  /// The underlying consensus engine of one group (tests, benchmarks).
+  const engine::SlotMux& engine(GroupId group = 0) const {
+    return *groups_[group]->mux;
+  }
 
  private:
-  void init_mux(engine::Host& host);
+  struct Group {
+    KvStore store;
+    std::unique_ptr<engine::SlotMux> mux;
+  };
+
+  void init_groups(engine::Host& host);
   void handle_request(ProcessId from, const Bytes& payload);
   void send_reply(Slot slot, const Command& cmd, ExecResult result);
 
@@ -153,8 +221,9 @@ class SmrNode final : public runtime::IProcess {
   InstallCallback on_install_;
   std::unique_ptr<engine::SimHost> owned_host_;  // sim shell only
   std::unique_ptr<net::Transport> endpoint_;
-  std::unique_ptr<engine::SlotMux> mux_;
-  KvStore store_;
+  /// One engine + store per consensus group; stable addresses (the engine
+  /// apply callbacks capture their group), hence unique_ptr elements.
+  std::vector<std::unique_ptr<Group>> groups_;
 };
 
 }  // namespace fastbft::smr

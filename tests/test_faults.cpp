@@ -214,7 +214,7 @@ TEST(Faults, PipelinedSmrSurvivesSilentInitialLeader) {
                              runtime::Node::DecideCallback) {
     auto node = std::make_unique<smr::SmrNode>(
         ctx, smr_options,
-        [&applied_slots](ProcessId pid, Slot slot,
+        [&applied_slots](ProcessId pid, GroupId, Slot slot,
                          const std::vector<smr::Command>&) {
           applied_slots[pid].push_back(slot);
         });

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/bytes.hpp"
 #include "common/codec.hpp"
 #include "consensus/types.hpp"
@@ -9,10 +11,14 @@
 #include "net/sim_network.hpp"
 #include "net/stats.hpp"
 #include "sim/scheduler.hpp"
+#include "smr/shard.hpp"
+#include "smr/smr_node.hpp"
 
 /// Unit tests for the zero-copy hot path (PR 4): ByteView decoding,
 /// streaming hashing, the signature-verification cache and the
-/// shared-payload broadcast accounting.
+/// shared-payload broadcast accounting — and the sharded-SMR (PR 6)
+/// invariants layered on them: per-group broadcasts still allocate once,
+/// and a node's group engines share one verification cache.
 
 namespace fastbft {
 namespace {
@@ -351,6 +357,100 @@ TEST(PayloadStats, UnicastSendsAllocatePerSend) {
   endpoint->send(1, Bytes(10, 0x01));
   endpoint->send(2, Bytes(10, 0x02));
   EXPECT_EQ(net::PayloadStats::allocs() - allocs, 2u);
+}
+
+// --- Sharded SMR hot-path invariants -----------------------------------------
+
+TEST(PayloadStats, FourGroupNodeAllocatesOncePerBroadcastSharesOneCache) {
+  // A replica hosting 4 consensus groups must keep both PR 4 invariants:
+  // every SMR_WRAPPED broadcast materializes its payload exactly once no
+  // matter which group framed it, and all 4 engines probe ONE
+  // per-node signature-verification cache.
+  constexpr std::uint32_t kGroups = 4;
+  constexpr std::uint64_t kPerGroup = 3;
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+
+  runtime::ClusterOptions options;
+  options.cfg = cfg;
+  options.net.delta = 100;
+  options.net.min_delay = 100;
+
+  // Keys chosen by their hash-assigned shard: kPerGroup commands land in
+  // every group, so every group's engine broadcasts.
+  std::vector<std::vector<std::string>> keys(kGroups);
+  for (int i = 0; true; ++i) {
+    std::string key = "key" + std::to_string(i);
+    auto& bucket = keys[smr::shard_of(key, kGroups)];
+    if (bucket.size() < kPerGroup) bucket.push_back(key);
+    if (static_cast<std::uint64_t>(std::count_if(
+            keys.begin(), keys.end(),
+            [](const auto& b) { return b.size() == kPerGroup; })) == kGroups) {
+      break;
+    }
+  }
+
+  smr::SmrOptions smr_options;
+  smr_options.max_batch = 2;
+  smr_options.num_groups = kGroups;
+  smr_options.group_targets.assign(kGroups, kPerGroup);
+  std::vector<smr::SmrNode*> nodes(cfg.n, nullptr);
+  options.node_factory = [&](const runtime::ProcessContext& ctx,
+                             const runtime::NodeOptions&,
+                             runtime::Node::DecideCallback) {
+    auto node = std::make_unique<smr::SmrNode>(ctx, smr_options, nullptr);
+    nodes[ctx.id] = node.get();
+    return node;
+  };
+  runtime::Cluster cluster(options,
+                           std::vector<Value>(cfg.n, Value::of_string("-")));
+  net::PayloadStats::reset();
+  cluster.start();
+  cluster.scheduler().schedule_at(0, [&] {
+    std::uint64_t seq = 0;
+    for (const auto& bucket : keys) {
+      for (const auto& key : bucket) {
+        nodes[1]->submit(smr::Command::put(key, "v", 1, ++seq));
+      }
+    }
+  });
+  cluster.run_until(5'000'000);
+
+  std::uint64_t submitted = kGroups * kPerGroup;
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    ASSERT_NE(nodes[id], nullptr);
+    EXPECT_EQ(nodes[id]->applied_commands(), submitted) << "p" << id;
+  }
+
+  // One VerificationCache per node, shared by all of its group engines.
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const auto& cache = nodes[id]->engine(0).verify_cache();
+    ASSERT_NE(cache, nullptr);
+    for (GroupId g = 1; g < kGroups; ++g) {
+      EXPECT_EQ(nodes[id]->engine(g).verify_cache().get(), cache.get())
+          << "p" << id << " group " << g << " has a private cache";
+    }
+  }
+
+  // Every group broadcast, and each broadcast materialized its payload
+  // exactly once. Unicasts are 1 alloc : 1 message; a broadcast is 1
+  // alloc : fanout messages (fanout is n with self, n - 1 without), and
+  // client submits broadcast the request the same way. So the alloc
+  // savings `messages - allocs` must sit exactly in the band the B
+  // one-alloc broadcasts predict — any per-recipient payload copy
+  // anywhere drops it below the floor.
+  std::uint64_t group_bcasts = 0;
+  for (GroupId g = 0; g < kGroups; ++g) {
+    std::uint64_t b = net::PayloadStats::group_broadcasts(g);
+    EXPECT_GE(b, 1u) << "group " << g << " never broadcast";
+    group_bcasts += b;
+  }
+  std::uint64_t broadcasts = group_bcasts + submitted;  // + request bcasts
+  std::uint64_t messages = cluster.network().stats().total_messages();
+  std::uint64_t allocs = net::PayloadStats::allocs();
+  ASSERT_GE(messages, allocs);
+  EXPECT_GE(messages - allocs, broadcasts * (cfg.n - 2))
+      << "some broadcast copied its payload per recipient";
+  EXPECT_LE(messages - allocs, broadcasts * (cfg.n - 1));
 }
 
 }  // namespace

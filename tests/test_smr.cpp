@@ -265,6 +265,9 @@ TEST(Smr, LeaderCrashMidStream) {
   auto cfg = consensus::QuorumConfig::create(4, 1, 1);
   SmrOptions smr_options;
   smr_options.target_commands = 5;
+  // Pin the fixed-leader regime: this test's crash schedule assumes p0
+  // leads view 1 of every slot (multi-group runs rotate by default).
+  smr_options.rotate_leaders = false;
   SmrCluster h(cfg, smr_options);
   h.cluster->crash_at(0, 350);  // p0 leads view 1 of every slot
   h.cluster->start();
@@ -345,7 +348,7 @@ TEST(SmrPipelined, InOrderApplyUnderJitter) {
   // but every replica must apply slots 1, 2, 3, ... consecutively.
   std::map<ProcessId, std::vector<Slot>> applied_slots;
   run_pipelined(/*depth=*/4, /*commands=*/20,
-                [&applied_slots](ProcessId pid, Slot slot,
+                [&applied_slots](ProcessId pid, GroupId, Slot slot,
                                  const std::vector<Command>&) {
                   applied_slots[pid].push_back(slot);
                 },
@@ -401,7 +404,7 @@ TEST(SmrPipelined, FaultyLeaderDoesNotStallLaterSlots) {
   smr_options.rotate_leaders = true;
   std::map<ProcessId, std::vector<Slot>> applied_slots;
   SmrCluster h(cfg, smr_options, /*seed=*/3,
-               [&applied_slots](ProcessId pid, Slot slot,
+               [&applied_slots](ProcessId pid, GroupId, Slot slot,
                                 const std::vector<Command>&) {
                  applied_slots[pid].push_back(slot);
                });
@@ -484,6 +487,7 @@ TEST(SmrPipelined, ReorderBacklogClampStopsOpeningSlots) {
     }
     Decoder dec(env.payload);
     dec.u8();
+    dec.u32();  // group
     Slot slot = dec.u64();
     if (!dec.ok()) return std::nullopt;
     return slot;
@@ -563,6 +567,7 @@ TEST(SmrCatchUp, SubQuorumClaimsAreIgnored) {
   Value claimed = encode_batch({Command::put("evil", "1", 66, 1)});
   Encoder enc;
   enc.u8(net::tags::kSmrDecided);
+  enc.u32(0);  // group
   enc.u64(1);
   claimed.encode(enc);
   Bytes claim = std::move(enc).take();
@@ -605,7 +610,8 @@ TEST(SmrSnapshot, CrashedReplicaRejoinsViaSnapshotAndRetentionUnpins) {
   std::map<ProcessId, std::vector<Slot>> applied_after_restart;
   bool restarted = false;
   SmrCluster h(cfg, smr_options, /*seed=*/5,
-               [&](ProcessId pid, Slot slot, const std::vector<Command>&) {
+               [&](ProcessId pid, GroupId, Slot slot,
+                   const std::vector<Command>&) {
                  if (restarted) applied_after_restart[pid].push_back(slot);
                });
   h.cluster->crash_at(3, 20'000);
@@ -754,7 +760,7 @@ TEST(ClientTest, SingleReportIsNotCompletion) {
   // Simulate a submit without a gateway (register in-flight by hand is not
   // exposed; go through a throwaway node-less path: the subscription
   // simply ignores unknown sequences).
-  subscription(0, 1, {cmd});
+  subscription(0, /*group=*/0, 1, {cmd});
   EXPECT_TRUE(client.completions().empty());
   EXPECT_EQ(client.pending(), 0u) << "unknown sequences are ignored";
 }
