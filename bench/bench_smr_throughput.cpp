@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "net/stats.hpp"
 #include "runtime/threaded_smr_cluster.hpp"
 #include "smr/client.hpp"
@@ -41,6 +45,16 @@
 /// with S, so aggregate wall-clock throughput must too — the scale-out
 /// lever once deepening a single log's pipeline saturates.
 ///
+/// Experiment E14 is the open-loop latency harness: Poisson arrivals at a
+/// TARGET rate through smr::ClientSession with an effectively unbounded
+/// window — unlike E11's closed loop, a slow service does not slow the
+/// arrival process down, so queueing shows up as completion latency
+/// instead of silently lowering the offered load. Per-op latencies land in
+/// a log-bucketed histogram (common/histogram.hpp) and each
+/// (mode, rate) cell reports p50/p99/p999 — the latency-vs-offered-rate
+/// curve, swept across static pipeline depths and the adaptive controller
+/// (docs/ADAPTIVE.md, docs/PERFORMANCE.md).
+///
 /// Experiment E10 measures what KV snapshots buy under a crash/recover
 /// schedule (docs/CATCHUP.md): without them, a crashed replica's frozen
 /// watermark pins every survivor's decided-value retention from the crash
@@ -73,6 +87,25 @@ class BenchRecorder {
                   static_cast<unsigned long long>(bytes),
                   static_cast<unsigned long long>(allocs),
                   static_cast<unsigned long long>(alloc_bytes));
+    records_.emplace_back(buf);
+  }
+
+  /// Latency-experiment row: completion-latency percentiles ride along as
+  /// top-level fields so gating scripts can regress on p99 directly.
+  void add_latency(const char* experiment, const std::string& config,
+                   double cmds_per_sec, double wall_ms, double mean_us,
+                   std::uint64_t p50_us, std::uint64_t p99_us,
+                   std::uint64_t p999_us) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"experiment\": \"%s\", \"config\": {%s}, "
+                  "\"cmds_per_sec\": %.1f, \"wall_ms\": %.2f, "
+                  "\"mean_us\": %.1f, \"p50_us\": %llu, \"p99_us\": %llu, "
+                  "\"p999_us\": %llu}",
+                  experiment, config.c_str(), cmds_per_sec, wall_ms, mean_us,
+                  static_cast<unsigned long long>(p50_us),
+                  static_cast<unsigned long long>(p99_us),
+                  static_cast<unsigned long long>(p999_us));
     records_.emplace_back(buf);
   }
 
@@ -453,6 +486,208 @@ void closed_loop_client_sweep() {
               "applies only)\n");
 }
 
+// --- E14: open-loop latency harness ------------------------------------------
+
+/// Pipelining modes the latency-vs-rate curve is swept across. The static
+/// depths bracket the trade-off (shallow = low queueing, deep = high
+/// saturation throughput); adaptive must find the best of both at run
+/// time.
+struct OpenLoopMode {
+  const char* name;
+  std::uint32_t depth;  // static depth, or max_depth when adaptive
+  bool adaptive;
+};
+
+struct OpenLoopResult {
+  bool drained = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  double achieved_per_sec = 0;
+  double wall_ms = 0;
+  double mean_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint32_t depth_end = 0;
+  std::uint64_t backoffs = 0;
+};
+
+/// The adaptive controller's decision-latency budget (wall-clock µs).
+/// Roughly 3x a healthy uncontended decision on this LAN model: deep
+/// enough not to flap on noise, tight enough that a saturated delivery
+/// thread (whose decision tail stretches far past it) forces a backoff.
+constexpr Duration kAdaptiveTargetUs = 5'000;
+
+OpenLoopResult run_open_loop(const OpenLoopMode& mode, double rate,
+                             double duration_s) {
+  using namespace std::chrono;
+  constexpr std::uint32_t kSessions = 2;
+
+  auto config = smr::ServiceConfig{}
+                    .with_cluster(4, 1, 1)
+                    .with_sessions(kSessions)
+                    .with_batch(8)
+                    // Open loop: the window must never backpressure the
+                    // arrival process — queueing belongs in the latency
+                    // numbers, not in a client-side throttle.
+                    .with_window(1u << 20)
+                    .with_link_delay(microseconds(200))
+                    // Generous per-try timeout so overload shows up as
+                    // latency, not as failover storms; the deadline still
+                    // bounds every op so the drain terminates.
+                    .with_request_timeout(500'000)
+                    .with_deadline(5'000'000);
+  if (mode.adaptive) {
+    config.with_adaptive(kAdaptiveTargetUs, 1, mode.depth);
+    // The tail-latency amplifier at deep windows is the reorder buffer: a
+    // slot stalled in a view change parks every younger decision (and the
+    // client replies behind them). Back off when more than half the
+    // window is parked, well before the default of 2 x max_depth.
+    config.smr.adaptive.backlog_target = mode.depth / 2;
+    // A 100ms window holds ~250 decisions at these rates, so window p99
+    // is a real quantile: the single outlier a lone view-change stall
+    // leaves behind cannot move it, while a depth-8 convoy still
+    // breaches immediately through the backlog high-water. (The default
+    // 4x-target window holds so few samples that p99 == max, and the
+    // controller would back off on every stall at every depth.)
+    config.smr.adaptive.window = 100'000;
+    // One convoy already costs ~50+ op tails, so react to every breached
+    // window (the ssthresh cap keeps reactions from compounding), and
+    // re-probe known-bad depths sparingly: a failed probe re-buys the
+    // convoy the controller just paid to learn.
+    config.smr.adaptive.breach_windows = 1;
+    config.smr.adaptive.probe_windows = 30;  // ~3s between probes
+  } else {
+    config.with_pipeline_depth(mode.depth);
+  }
+  auto service = make_threaded_service(config);
+  service->start();
+
+  std::mutex mutex;
+  Histogram latencies;  // µs, completed ops only
+  std::uint64_t completed = 0, timeouts = 0;
+
+  std::mt19937_64 rng(0xE14);
+  std::exponential_distribution<double> interarrival(rate / 1e6);  // per µs
+
+  auto begin = steady_clock::now();
+  auto stop_at = begin + duration_cast<steady_clock::duration>(
+                             duration<double>(duration_s));
+  auto next = begin;
+  std::uint64_t submitted = 0;
+  while (steady_clock::now() < stop_at) {
+    // Poisson arrivals with catch-up: a late wake-up submits the overdue
+    // arrival immediately instead of rescheduling it, so the offered rate
+    // holds even when sleep granularity is coarse.
+    next += microseconds(static_cast<std::int64_t>(interarrival(rng)));
+    std::this_thread::sleep_until(next);
+    auto t0 = steady_clock::now();
+    auto future = service->session(submitted % kSessions)
+                      .put("key" + std::to_string(submitted % 64),
+                           "value-" + std::to_string(submitted));
+    future.on_ready([&mutex, &latencies, &completed, &timeouts,
+                     t0](const Reply& reply) {
+      auto us = duration_cast<microseconds>(steady_clock::now() - t0).count();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (reply.timed_out()) {
+        ++timeouts;
+      } else {
+        ++completed;
+        latencies.record(static_cast<std::uint64_t>(us));
+      }
+    });
+    ++submitted;
+  }
+  double offered_ms = duration_cast<duration<double, std::milli>>(
+                          steady_clock::now() - begin)
+                          .count();
+
+  OpenLoopResult result;
+  result.drained = service->run_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        return completed + timeouts >= submitted;
+      },
+      60'000ms);
+  auto stats = service->engine_stats(0);
+  service->stop();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  result.submitted = submitted;
+  result.completed = completed;
+  result.timeouts = timeouts;
+  result.wall_ms = offered_ms;
+  // Achieved throughput over the offered window (completions during the
+  // drain tail belong to arrivals inside it).
+  result.achieved_per_sec =
+      offered_ms > 0 ? static_cast<double>(completed) / (offered_ms / 1000.0)
+                     : 0;
+  result.mean_us = latencies.mean();
+  result.p50_us = latencies.quantile(0.50);
+  result.p99_us = latencies.quantile(0.99);
+  result.p999_us = latencies.quantile(0.999);
+  result.depth_end = stats.effective_depth;
+  result.backoffs = stats.adaptive_backoffs;
+  return result;
+}
+
+void open_loop_latency_sweep(const std::vector<double>& rates,
+                             double duration_s) {
+  std::printf("\n=== E14: open-loop latency vs offered rate (threaded "
+              "service, n = 4, f = t = 1, batch = 8, 2 sessions, 200us "
+              "link delay, Poisson arrivals, %.1fs per cell, adaptive "
+              "target %lldus) ===\n",
+              duration_s, static_cast<long long>(kAdaptiveTargetUs));
+  const OpenLoopMode modes[] = {
+      {"static-d1", 1, false},
+      {"static-d8", 8, false},
+      {"adaptive", 8, true},
+  };
+  std::printf("%-11s %-9s %-10s %-9s %-9s %-9s %-9s %-6s %-9s\n", "mode",
+              "rate/s", "ops/sec", "p50 us", "p99 us", "p999 us", "timeout",
+              "depth", "backoffs");
+  for (const auto& mode : modes) {
+    for (double rate : rates) {
+      auto r = run_open_loop(mode, rate, duration_s);
+      if (!r.drained) {
+        std::printf("%-11s %-9.0f (drain incomplete: %llu of %llu)\n",
+                    mode.name, rate,
+                    static_cast<unsigned long long>(r.completed + r.timeouts),
+                    static_cast<unsigned long long>(r.submitted));
+        continue;
+      }
+      std::printf("%-11s %-9.0f %-10.0f %-9llu %-9llu %-9llu %-6llu %-6u "
+                  "%-9llu\n",
+                  mode.name, rate, r.achieved_per_sec,
+                  static_cast<unsigned long long>(r.p50_us),
+                  static_cast<unsigned long long>(r.p99_us),
+                  static_cast<unsigned long long>(r.p999_us),
+                  static_cast<unsigned long long>(r.timeouts), r.depth_end,
+                  static_cast<unsigned long long>(r.backoffs));
+      char extra[320];
+      std::snprintf(
+          extra, sizeof(extra),
+          "\"n\": 4, \"f\": 1, \"t\": 1, \"batch\": 8, \"sessions\": 2, "
+          "\"link_delay_us\": 200, \"mode\": \"%s\", \"depth\": %u, "
+          "\"rate\": %.0f, \"duration_ms\": %.0f, \"submitted\": %llu, "
+          "\"completed\": %llu, \"timeouts\": %llu, \"depth_end\": %u, "
+          "\"backoffs\": %llu",
+          mode.name, mode.depth, rate, duration_s * 1000.0,
+          static_cast<unsigned long long>(r.submitted),
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.timeouts), r.depth_end,
+          static_cast<unsigned long long>(r.backoffs));
+      g_recorder.add_latency("E14", extra, r.achieved_per_sec, r.wall_ms,
+                             r.mean_us, r.p50_us, r.p99_us, r.p999_us);
+    }
+  }
+  std::printf("(open loop: arrivals do NOT wait for completions, so "
+              "overload surfaces as tail latency rather than a quietly "
+              "lower offered rate; 'adaptive' sizes its pipeline depth at "
+              "run time from decision latency — docs/ADAPTIVE.md)\n");
+}
+
 void sharded_group_sweep() {
   using namespace std::chrono;
   constexpr std::uint64_t kCommands = 400;
@@ -611,9 +846,14 @@ int main(int argc, char** argv) {
   // --json PATH writes the machine-readable records (the default is
   // deliberately NOT the committed BENCH_smr.json, so a routine local run
   // cannot clobber the tracked baseline); --label NAME tags the run.
+  // E14 controls: --rate R1[,R2,...] overrides the offered-rate sweep
+  // (ops/sec), --duration SECONDS the per-cell measurement window, and
+  // --open-loop is shorthand for --only E14.
   std::string only;
   std::string json_path = "bench_smr_out.json";
   std::string label = "local";
+  std::vector<double> rates = {1000, 2500, 6000};
+  double duration_s = 4.0;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -628,10 +868,23 @@ int main(int argc, char** argv) {
       json_path = need_value("--json");
     } else if (std::strcmp(argv[i], "--label") == 0) {
       label = need_value("--label");
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      rates.clear();
+      std::string list = need_value("--rate");
+      for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        rates.push_back(std::stod(list.substr(pos, comma - pos)));
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      duration_s = std::stod(need_value("--duration"));
+    } else if (std::strcmp(argv[i], "--open-loop") == 0) {
+      if (only.empty()) only = "E14";
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--only E8d,E8g,E9,E10,E11,E13,E8e,E8f] "
-                   "[--json PATH] [--label NAME]\n",
+                   "usage: %s [--only E8d,E8g,E9,E10,E11,E13,E14,E8e,E8f] "
+                   "[--json PATH] [--label NAME] [--rate R1,R2,...] "
+                   "[--duration SECONDS] [--open-loop]\n",
                    argv[0]);
       return 2;
     }
@@ -648,6 +901,9 @@ int main(int argc, char** argv) {
   if (selected("E10")) fastbft::smr::snapshot_recovery_sweep();
   if (selected("E11")) fastbft::smr::closed_loop_client_sweep();
   if (selected("E13")) fastbft::smr::sharded_group_sweep();
+  if (selected("E14")) {
+    fastbft::smr::open_loop_latency_sweep(rates, duration_s);
+  }
   if (selected("E8e")) fastbft::smr::cluster_size_sweep();
   if (selected("E8f")) fastbft::smr::client_latency();
 

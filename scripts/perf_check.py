@@ -15,6 +15,16 @@ and ANY of them regressing beyond the threshold fails the gate.
   * E13 — sharded multi-group sweep, at shards = 4 when both sides have
           it (else the highest common shard count) — the aggregate
           scale-out number.
+  * E14 — open-loop latency sweep: gated on p99 completion latency
+          (higher is WORSE, so the gate is now <= ref * (1 + threshold)),
+          per mode, at the lowest offered rate common to both files —
+          the rate where the tail is load-stable rather than
+          saturation-noise. The BEST (lowest) p99 across the current
+          runs counts, mirroring the throughput gates. Tails below
+          --latency-floor-us (default 25000 — one view-change base
+          timeout) always pass: on an oversubscribed host a single
+          scheduler stall parks enough arrivals to set the whole p99,
+          so sub-floor differences are scheduler luck, not code.
 
 The committed file may hold several runs ({"runs": [...]}); the LAST run
 is the reference. A single-run file ({"records": [...]}) is accepted for
@@ -32,6 +42,12 @@ EXPERIMENTS = {
     "E9": ("depth", "max"),
     "E11": ("sessions", "max"),
     "E13": ("shards", 4),
+}
+
+# Latency experiments gate a per-op quantile instead of throughput:
+# experiment -> record field holding the gated latency (µs).
+LATENCY_EXPERIMENTS = {
+    "E14": "p99_us",
 }
 
 
@@ -64,11 +80,65 @@ def pick_param(common, preferred):
     return preferred if preferred in common else max(common)
 
 
+def latency_by_mode_rate(records, experiment, field):
+    """(mode, rate) -> gated latency in µs, for open-loop records."""
+    out = {}
+    for r in records:
+        if r.get("experiment") != experiment:
+            continue
+        config = r.get("config", {})
+        mode, rate = config.get("mode"), config.get("rate")
+        value = r.get(field, 0)
+        if mode is not None and rate is not None and value > 0:
+            out[(mode, rate)] = value
+    return out
+
+
+def check_latency(experiment, field, base_records, currents, base_label,
+                  n_current, max_regression, floor_us, failures):
+    """Gate p99 per mode at the lowest common rate; returns checks done."""
+    base = latency_by_mode_rate(base_records, experiment, field)
+
+    best = {}  # (mode, rate) -> (latency_us, label); lower is better
+    for cur_label, cur_records in currents:
+        for key, us in latency_by_mode_rate(cur_records, experiment,
+                                            field).items():
+            if key not in best or us < best[key][0]:
+                best[key] = (us, cur_label)
+
+    common = set(base) & set(best)
+    if not common:
+        print(f"{experiment}: not present in both files, skipped")
+        return 0
+
+    checked = 0
+    for mode in sorted({m for m, _ in common}):
+        rate = min(r for m, r in common if m == mode)
+        ref = base[(mode, rate)]
+        now, cur_label = best[(mode, rate)]
+        ratio = now / ref
+        checked += 1
+        verdict = "ok"
+        if now <= floor_us:
+            verdict = "ok (below noise floor)"
+        elif ratio > 1.0 + max_regression:
+            verdict = "REGRESSION"
+            failures.append(f"{experiment}/{mode}")
+        print(f"{experiment} {mode} rate {rate}: baseline({base_label}) "
+              f"{field} = {ref:.0f} us, best current({cur_label}) of "
+              f"{n_current} run(s) = {now:.0f} us, "
+              f"ratio = {ratio:.2f} [{verdict}]")
+    return checked
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current", nargs="+")
     ap.add_argument("--max-regression", type=float, default=0.30)
+    ap.add_argument("--latency-floor-us", type=float, default=25000,
+                    help="p99 at or below this always passes the latency "
+                         "gate (default: one view-change base timeout)")
     args = ap.parse_args()
 
     base_label, base_records = load_records(args.baseline)
@@ -104,6 +174,12 @@ def main():
               f"{ref:.0f} cmds/s, best current({cur_label}) of "
               f"{len(args.current)} run(s) = {now:.0f} cmds/s, "
               f"ratio = {ratio:.2f} [{verdict}]")
+
+    for experiment, field in LATENCY_EXPERIMENTS.items():
+        checked += check_latency(experiment, field, base_records, currents,
+                                 base_label, len(args.current),
+                                 args.max_regression, args.latency_floor_us,
+                                 failures)
 
     if checked == 0:
         raise SystemExit("no common experiments between baseline and current")

@@ -1,0 +1,119 @@
+#include "engine/adaptive.hpp"
+
+#include "common/assert.hpp"
+
+namespace fastbft::engine {
+
+AdaptiveController::AdaptiveController(const AdaptiveOptions& options,
+                                       std::uint32_t batch_ceiling,
+                                       std::size_t reorder_clamp)
+    : options_(options),
+      batch_ceiling_(std::max(batch_ceiling, options.min_batch)),
+      // Recover from a batch backoff in ~4 healthy windows.
+      batch_step_(std::max<std::uint32_t>(1, batch_ceiling_ / 4)),
+      depth_(options.min_depth),
+      batch_(batch_ceiling_),
+      max_depth_reached_(options.min_depth) {
+  FASTBFT_ASSERT(options_.latency_target > 0,
+                 "adaptive control needs a latency target");
+  FASTBFT_ASSERT(options_.min_depth >= 1 &&
+                     options_.min_depth <= options_.max_depth,
+                 "adaptive depth bounds must satisfy 1 <= min <= max");
+  FASTBFT_ASSERT(options_.min_batch >= 1, "adaptive batch floor must be >= 1");
+  if (options_.window <= 0) options_.window = 4 * options_.latency_target;
+  if (options_.backlog_target == 0) {
+    // Back off at the clamp so the engine adapts instead of hard-stalling
+    // on it; without a clamp, tolerate a backlog of one extra window.
+    options_.backlog_target =
+        reorder_clamp > 0 ? reorder_clamp : 2 * options_.max_depth;
+  }
+  if (options_.min_samples == 0) options_.min_samples = 1;
+  if (options_.breach_windows == 0) options_.breach_windows = 1;
+  if (options_.probe_windows == 0) options_.probe_windows = 1;
+  depth_ceiling_ = options_.max_depth;
+}
+
+void AdaptiveController::on_decision(Duration latency,
+                                     std::size_t reorder_backlog,
+                                     TimePoint now) {
+  if (latency < 0) latency = 0;
+  cumulative_.record(static_cast<std::uint64_t>(latency));
+  window_hist_.record(static_cast<std::uint64_t>(latency));
+  window_backlog_hw_ = std::max(window_backlog_hw_, reorder_backlog);
+  if (reorder_backlog > backlog_high_water_.load(std::memory_order_relaxed)) {
+    backlog_high_water_.store(reorder_backlog, std::memory_order_relaxed);
+  }
+  if (window_start_ < 0) window_start_ = now;
+  if (now - window_start_ >= options_.window &&
+      window_hist_.count() >= options_.min_samples) {
+    evaluate(now);
+  }
+}
+
+void AdaptiveController::evaluate(TimePoint now) {
+  bool breach =
+      window_hist_.quantile(0.99) >
+          static_cast<std::uint64_t>(options_.latency_target) ||
+      window_backlog_hw_ > options_.backlog_target;
+
+  std::uint32_t depth = depth_.load(std::memory_order_relaxed);
+  std::uint32_t batch = batch_.load(std::memory_order_relaxed);
+  if (breach) {
+    // Hold on the first breached window(s); only a PERSISTENT breach —
+    // breach_windows in a row — earns the multiplicative backoff. A lone
+    // view-change stall or scheduler hiccup concentrates its outliers in
+    // one window and must not halve a healthy pipeline.
+    healthy_at_ceiling_ = 0;
+    if (++consecutive_breaches_ >= options_.breach_windows) {
+      consecutive_breaches_ = 0;
+      if (depth > options_.min_depth) {
+        // TCP-ssthresh: halve the depth, and remember the halved depth
+        // as the growth ceiling. Plain AIMD re-climbs to the depth that
+        // breached within depth/2 windows and re-enters the very convoy
+        // it just escaped; with the cap, anything deeper is reached only
+        // through deliberate probes — one step per probe_windows
+        // consecutive healthy windows. Batch is left alone: the reorder
+        // convoy behind a stalled slot scales with the number of younger
+        // slots, not with the ops inside each one, and shrinking the
+        // batch cuts capacity exactly when a transient has a queue to
+        // drain.
+        depth = std::max(options_.min_depth, depth / 2);
+        depth_ceiling_ = depth;
+      } else {
+        // Already at the shallowest window and still breaching: the
+        // per-decision work itself is too big, so the batch is the only
+        // knob left.
+        batch = std::max(options_.min_batch, batch / 2);
+      }
+      backoffs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Additive growth: one more slot in flight, a few more commands per
+    // proposal, up to the configured ceilings — the depth ceiling being
+    // the last breach depth minus one until enough consecutive healthy
+    // windows at it justify probing one step deeper.
+    consecutive_breaches_ = 0;
+    if (depth < depth_ceiling_) {
+      ++depth;
+      healthy_at_ceiling_ = 0;
+    } else if (depth_ceiling_ < options_.max_depth &&
+               ++healthy_at_ceiling_ >= options_.probe_windows) {
+      healthy_at_ceiling_ = 0;
+      ++depth_ceiling_;
+      depth = depth_ceiling_;
+    }
+    batch = std::min(batch_ceiling_, batch + batch_step_);
+  }
+  depth_.store(depth, std::memory_order_relaxed);
+  batch_.store(batch, std::memory_order_relaxed);
+  if (depth > max_depth_reached_.load(std::memory_order_relaxed)) {
+    max_depth_reached_.store(depth, std::memory_order_relaxed);
+  }
+  windows_.fetch_add(1, std::memory_order_relaxed);
+
+  window_hist_.reset();
+  window_backlog_hw_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace fastbft::engine

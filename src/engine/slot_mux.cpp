@@ -68,6 +68,10 @@ SlotMux::SlotMux(Host& host, EngineContext ctx, net::Transport& transport,
   if (!ctx_.verify_cache) {
     ctx_.verify_cache = std::make_shared<crypto::VerificationCache>();
   }
+  if (options_.adaptive.enabled) {
+    adaptive_ = std::make_unique<AdaptiveController>(
+        options_.adaptive, options_.max_batch, options_.max_reorder_backlog);
+  }
 }
 
 SlotMux::~SlotMux() { *alive_ = false; }
@@ -102,13 +106,16 @@ void SlotMux::broadcast_wrapped(Slot slot, ByteView payload,
 }
 
 void SlotMux::fill_window() {
-  while (!done() && next_start_ < next_apply_ + options_.pipeline_depth) {
+  // The window honours the *effective* depth — the controller's when
+  // adaptive control is on. A backoff does not cancel already-open slots;
+  // the window shrinks as they decide and refills at the smaller depth.
+  while (!done() && next_start_ < next_apply_ + effective_depth()) {
     if (options_.max_reorder_backlog > 0 &&
         reorder_.size() > options_.max_reorder_backlog) {
       // Congestion clamp: decisions are piling up behind a stalled slot;
       // opening more slots would only deepen the backlog. The window
       // refills when the stall resolves (drain_apply + fill_window).
-      ++clamp_stalls_;
+      clamp_stalls_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     start_slot(next_start_++);
@@ -116,7 +123,7 @@ void SlotMux::fill_window() {
 }
 
 Value SlotMux::make_input(Slot slot) {
-  std::vector<smr::Command> batch = pending_.claim(slot, options_.max_batch);
+  std::vector<smr::Command> batch = pending_.claim(slot, effective_batch());
   if (batch.empty()) batch.push_back(smr::Command::noop());
   return smr::encode_batch(batch);
 }
@@ -131,6 +138,7 @@ consensus::LeaderFn SlotMux::leader_for(Slot slot) const {
 void SlotMux::start_slot(Slot slot) {
   Instance inst;
   inst.channel = std::make_unique<SlotChannel>(*this, slot);
+  inst.started_at = host_.now();
 
   viewsync::SynchronizerConfig sync_cfg = options_.sync;
   sync_cfg.f = ctx_.cfg.f;
@@ -169,12 +177,19 @@ void SlotMux::start_slot(Slot slot) {
 void SlotMux::on_slot_decided(Slot slot, const Value& value) {
   auto it = active_.find(slot);
   if (it == active_.end()) return;  // decision already processed
+  TimePoint started_at = it->second.started_at;
   it->second.sync->stop();
   active_.erase(it);
 
   catchup_.record_decided(slot, value);
   reorder_.emplace(slot, value);
-  reorder_high_water_ = std::max(reorder_high_water_, reorder_.size());
+  if (reorder_.size() > reorder_high_water_.load(std::memory_order_relaxed)) {
+    reorder_high_water_.store(reorder_.size(), std::memory_order_relaxed);
+  }
+  if (adaptive_) {
+    TimePoint now = host_.now();
+    adaptive_->on_decision(now - started_at, reorder_.size(), now);
+  }
 
   drain_apply();
   fill_window();
@@ -206,7 +221,7 @@ void SlotMux::maybe_take_snapshot(Slot just_applied) {
   // of the slot boundary, so every replica re-applies such a replay
   // identically and replicas never diverge. This keeps snapshot size
   // proportional to the horizon's command volume, not cluster lifetime.
-  Slot horizon = options_.snapshot_interval + options_.pipeline_depth +
+  Slot horizon = options_.snapshot_interval + max_window_depth() +
                  options_.max_reorder_backlog;
   Slot boundary = just_applied + 1;
   pending_.prune_applied_before(boundary > horizon ? boundary - horizon : 1);
@@ -264,7 +279,7 @@ void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
   // there.
   catchup_.note_peer_snapshot_floor(from, snap_floor);
   if (snap_floor > next_apply_) {
-    if (snap_floor > next_apply_ + options_.pipeline_depth) {
+    if (snap_floor > next_apply_ + max_window_depth()) {
       request_snapshots();
     } else {
       snap_probe_floor_ = std::max(snap_probe_floor_, snap_floor);
@@ -300,9 +315,19 @@ void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
     return;
   }
   if (slot >= next_start_) {
-    // Someone is ahead of us; their slot traffic is useless until we catch
-    // up. Nothing to buffer: catch-up runs on SMR_DECIDED claims.
-    return;
+    // A peer is already running this slot. Under static knobs every
+    // replica's window reaches a slot within a link delay of the others,
+    // so traffic from ahead is a harmless race; with adaptive control the
+    // windows diverge structurally (each replica's controller steps on its
+    // own observations), and dropping the first proposal here stalls the
+    // slot until its view-change timeout — precisely the convoy the
+    // controller exists to avoid. Join any slot the cluster shows live
+    // protocol evidence for within the MAXIMUM window (the bound every
+    // window-sized invariant already assumes); the effective depth keeps
+    // gating how far WE advance the frontier unprompted (fill_window).
+    if (slot >= next_apply_ + max_window_depth()) return;
+    while (!done() && next_start_ <= slot) start_slot(next_start_++);
+    note_inflight();
   }
   auto it = active_.find(slot);
   if (it == active_.end()) return;
@@ -327,7 +352,7 @@ void SlotMux::on_decided_claim(ProcessId from, ByteView payload) {
   // Honest claims are solicited by our own slot traffic, which never goes
   // beyond the window; claims past it can only be Byzantine flooding, and
   // rejecting them keeps parked claim state bounded by the window size.
-  if (slot >= next_start_ + options_.pipeline_depth) return;
+  if (slot >= next_start_ + max_window_depth()) return;
 
   auto adopted = catchup_.add_claim(slot, from, *value);
   if (adopted && active_.contains(slot)) {

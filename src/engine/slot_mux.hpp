@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "consensus/replica.hpp"
+#include "engine/adaptive.hpp"
 #include "engine/catchup.hpp"
 #include "engine/host.hpp"
 #include "engine/pending_queue.hpp"
@@ -51,7 +53,12 @@
 ///    SnapshotHooks::install;
 ///  * policy objects — client-command intake/dedup/claims (PendingQueue)
 ///    and decided-value/snapshot state transfer (CatchUpPolicy) live
-///    behind the engine rather than in the client-facing SMR shell.
+///    behind the engine rather than in the client-facing SMR shell;
+///  * adaptive control — with SlotMuxOptions::adaptive enabled, an AIMD
+///    AdaptiveController sizes the *effective* pipeline depth and batch
+///    from observed decision latency and reorder backlog, and the window/
+///    claim logic consults it instead of the static knobs (adaptive.hpp,
+///    docs/ADAPTIVE.md).
 
 namespace fastbft::engine {
 
@@ -115,6 +122,12 @@ struct SlotMuxOptions {
 
   /// Largest SNAPSHOT_RESPONSE chunk payload.
   std::uint32_t snapshot_chunk_bytes = 1024;
+
+  /// Closed-loop sizing of the effective pipeline depth and batch from
+  /// observed decision latency and reorder backlog (engine/adaptive.hpp).
+  /// Disabled by default: pipeline_depth/max_batch stay authoritative,
+  /// which keeps single-group benchmark baselines comparable.
+  AdaptiveOptions adaptive;
 
   /// Per-slot consensus tuning.
   consensus::ReplicaOptions replica;
@@ -190,12 +203,47 @@ class SlotMux {
   std::size_t reorder_pending() const { return reorder_.size(); }
 
   /// High-water mark of decisions parked for in-order apply — nonzero iff
-  /// slots decided out of order at some point.
-  std::size_t reorder_high_water() const { return reorder_high_water_; }
+  /// slots decided out of order at some point. (Relaxed atomic: readable
+  /// from stats threads while the engine runs.)
+  std::size_t reorder_high_water() const {
+    return reorder_high_water_.load(std::memory_order_relaxed);
+  }
 
   /// Times fill_window() stopped early because the reorder backlog
   /// exceeded max_reorder_backlog.
-  std::uint64_t clamp_stalls() const { return clamp_stalls_; }
+  std::uint64_t clamp_stalls() const {
+    return clamp_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Pipeline depth the window logic currently honours: the controller's
+  /// when adaptive control is on, the static option otherwise.
+  /// Thread-safe (relaxed atomic under the controller).
+  std::uint32_t effective_depth() const {
+    return adaptive_ ? adaptive_->depth() : options_.pipeline_depth;
+  }
+
+  /// Batch size proposals currently claim up to.
+  std::uint32_t effective_batch() const {
+    return adaptive_ ? adaptive_->batch() : options_.max_batch;
+  }
+
+  /// Worst-case window the engine may ever run — the bound for
+  /// window-sized invariants (claim flood rejection, dedup horizon,
+  /// catch-up gap heuristics), which must hold at any effective depth.
+  std::uint32_t max_window_depth() const {
+    return adaptive_ ? std::max(options_.pipeline_depth,
+                                adaptive_->options().max_depth)
+                     : options_.pipeline_depth;
+  }
+
+  /// Adaptive windows that breached and backed off (0 when adaptive
+  /// control is off). Thread-safe.
+  std::uint64_t adaptive_backoffs() const {
+    return adaptive_ ? adaptive_->backoff_events() : 0;
+  }
+
+  /// The adaptive controller, when enabled (tests, benchmarks).
+  const AdaptiveController* adaptive() const { return adaptive_.get(); }
 
   std::uint64_t applied_commands() const { return applied_commands_; }
   std::uint64_t noop_slots() const { return noop_slots_; }
@@ -243,6 +291,9 @@ class SlotMux {
     std::unique_ptr<SlotChannel> channel;
     std::unique_ptr<consensus::Replica> replica;
     std::unique_ptr<viewsync::Synchronizer> sync;
+    /// Host clock at start_slot; decided - started is the decision
+    /// latency the adaptive controller steers by.
+    TimePoint started_at = 0;
   };
 
   bool done() const {
@@ -281,13 +332,18 @@ class SlotMux {
   PendingQueue pending_;
   CatchUpPolicy catchup_;
 
+  /// AIMD depth/batch sizing; null unless options_.adaptive.enabled.
+  std::unique_ptr<AdaptiveController> adaptive_;
+
   /// The dispatch table: slot -> live consensus instance.
   std::map<Slot, Instance> active_;
 
   /// Decided out of order, waiting for predecessors: slot -> value.
   std::map<Slot, Value> reorder_;
-  std::size_t reorder_high_water_ = 0;
-  std::uint64_t clamp_stalls_ = 0;
+  /// Single-writer (host thread); atomic so stats readers on other
+  /// threads can sample them live without racing.
+  std::atomic<std::size_t> reorder_high_water_{0};
+  std::atomic<std::uint64_t> clamp_stalls_{0};
 
   Slot next_start_ = 1;
   Slot next_apply_ = 1;

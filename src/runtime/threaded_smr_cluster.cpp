@@ -30,6 +30,7 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
   for (ProcessId id = 0; id < cfg.n; ++id) {
     hosts_.push_back(std::make_unique<engine::ThreadedHost>(net_, id));
     nodes_.push_back(make_node(id));
+    stats_nodes_.push_back(nodes_.back().get());
     // The handler reads nodes_[id] at delivery time, so restart() can swap
     // in a fresh node (on this same delivery thread) without re-attaching.
     net_.attach(id, [this, id](ProcessId from, const Bytes& payload) {
@@ -95,7 +96,15 @@ void ThreadedSmrCluster::restart(ProcessId id) {
   // While still disconnected the worker only runs posted tasks, so the
   // reconnect-inside-the-task ordering is race-free.
   net_.post(id, [this, id] {
-    nodes_[id] = make_node(id);
+    auto fresh = make_node(id);
+    {
+      // Republish the stats pointer BEFORE destroying the old node:
+      // engine_stats() dereferences stats_nodes_[id] under this mutex, so
+      // once the lock is released no reader can still hold the old node.
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_nodes_[id] = fresh.get();
+    }
+    nodes_[id] = std::move(fresh);
     net_.reconnect(id);
     nodes_[id]->start();
   });
@@ -173,6 +182,12 @@ bool ThreadedSmrCluster::is_faulty(ProcessId id) const {
 std::uint64_t ThreadedSmrCluster::snapshots_installed(ProcessId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return snapshot_installs_[id];
+}
+
+smr::SmrNode::EngineStats ThreadedSmrCluster::engine_stats(
+    ProcessId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_nodes_[id]->engine_stats();
 }
 
 bool ThreadedSmrCluster::correct_stores_agree() const {

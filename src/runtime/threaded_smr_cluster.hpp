@@ -114,6 +114,14 @@ class ThreadedSmrCluster {
   /// restarts).
   std::uint64_t snapshots_installed(ProcessId id) const;
 
+  /// Live engine observability (effective depth/batch, adaptive backoffs,
+  /// reorder high-water) for a running process. Reads relaxed atomics
+  /// through a mutex_-guarded node pointer, so it is safe concurrently
+  /// with delivery threads AND with restart() (which republishes the
+  /// pointer under the same mutex). A crashed process reports its last
+  /// incarnation's values.
+  smr::SmrNode::EngineStats engine_stats(ProcessId id) const;
+
   // --- Pre-start / post-stop introspection ----------------------------------
 
   /// The node itself (engine window, catch-up policy, KV store). Only
@@ -159,6 +167,10 @@ class ThreadedSmrCluster {
   std::vector<std::vector<std::vector<Slot>>> applied_slots_;
   std::vector<std::uint64_t> snapshot_installs_;
   std::vector<bool> faulty_;
+  /// nodes_[id] raw pointers republished under mutex_: nodes_ itself is
+  /// only touched on delivery threads mid-run (restart swap), so the
+  /// stats reader needs its own synchronized view of the live node.
+  std::vector<smr::SmrNode*> stats_nodes_;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -119,6 +119,10 @@ class SimService final : public Service {
     return nodes_.at(replica)->applied_commands();
   }
 
+  SmrNode::EngineStats engine_stats(ProcessId replica) const override {
+    return nodes_.at(replica)->engine_stats();
+  }
+
   bool is_faulty(ProcessId replica) const override {
     return cluster_->is_faulty(replica);
   }
@@ -211,6 +215,10 @@ class ThreadedService final : public Service {
 
   std::uint64_t applied_commands(ProcessId replica) const override {
     return cluster_->applied_commands(replica);
+  }
+
+  SmrNode::EngineStats engine_stats(ProcessId replica) const override {
+    return cluster_->engine_stats(replica);
   }
 
   bool is_faulty(ProcessId replica) const override {

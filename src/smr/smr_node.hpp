@@ -111,6 +111,14 @@ struct SmrOptions {
   /// Largest snapshot-transfer chunk payload (see engine::SlotMuxOptions).
   std::uint32_t snapshot_chunk_bytes = 1024;
 
+  /// Adaptive sizing of the effective pipeline depth and batch per group
+  /// (engine/adaptive.hpp, docs/ADAPTIVE.md). Off by default: the static
+  /// pipeline_depth/max_batch stay authoritative. When enabled,
+  /// pipeline_depth is the starting point only if it falls inside
+  /// [adaptive.min_depth, adaptive.max_depth]; the controller owns the
+  /// knob from the first scored window on.
+  engine::AdaptiveOptions adaptive;
+
   /// Client endpoints attached to the network beyond the n replicas
   /// (ids n .. n + num_clients - 1; see net::SimNetwork /
   /// net::ThreadedNetwork extra_endpoints). When nonzero, the node acts
@@ -204,6 +212,19 @@ class SmrNode final : public runtime::IProcess {
   const engine::SlotMux& engine(GroupId group = 0) const {
     return *groups_[group]->mux;
   }
+
+  /// Live engine observability, aggregated over this node's groups:
+  /// knob values are the max across groups (they move together under
+  /// uniform load), event counters are summed. Thread-safe — every field
+  /// reads relaxed atomics — so stats threads can sample a running node.
+  struct EngineStats {
+    std::uint32_t effective_depth = 0;   ///< max over groups
+    std::uint32_t effective_batch = 0;   ///< max over groups
+    std::uint64_t adaptive_backoffs = 0; ///< summed
+    std::size_t reorder_high_water = 0;  ///< max over groups
+    std::uint64_t clamp_stalls = 0;      ///< summed
+  };
+  EngineStats engine_stats() const;
 
  private:
   struct Group {

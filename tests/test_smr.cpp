@@ -371,6 +371,69 @@ TEST(SmrPipelined, DepthFourBeatsSequential) {
       << "depth 4 must finish the same workload in less simulated time";
 }
 
+TEST(SmrPipelined, DivergentWindowsJoinPeerSlots) {
+  // Adaptive control sizes the window per replica, so windows diverge:
+  // here replicas 2/3 are pinned at depth 1 (unattainable 1-tick latency
+  // target) while replicas 0/1 open eight slots ahead. Every quorum of
+  // three includes a pinned replica, so if narrow replicas dropped
+  // traffic for slots beyond their own frontier (as they did before the
+  // on-demand join), each slot ahead would stall into view-change
+  // recovery. With the join, the cluster must run at the WIDE replicas'
+  // pace: strictly faster than an all-depth-1 cluster on the same
+  // workload.
+  TimePoint sequential = run_pipelined(1, 24);
+
+  auto cfg = consensus::QuorumConfig::create(4, 1, 1);
+  SmrOptions wide;
+  wide.max_batch = 2;
+  wide.target_commands = 24;
+  wide.pipeline_depth = 8;
+  SmrOptions narrow = wide;
+  narrow.pipeline_depth = 1;
+  narrow.adaptive.enabled = true;
+  narrow.adaptive.latency_target = 1;  // unattainable: depth stays at min
+  narrow.adaptive.min_depth = 1;
+  narrow.adaptive.max_depth = 8;
+  narrow.adaptive.min_batch = 2;  // isolate the depth divergence
+
+  SmrCluster h(cfg, wide, /*seed=*/7);
+  h.options.node_factory = [&h, narrow, wide](
+                               const runtime::ProcessContext& ctx,
+                               const runtime::NodeOptions&,
+                               runtime::Node::DecideCallback) {
+    auto node = std::make_unique<SmrNode>(ctx, ctx.id < 2 ? wide : narrow,
+                                          nullptr);
+    h.nodes[ctx.id] = node.get();
+    return node;
+  };
+  h.cluster = std::make_unique<runtime::Cluster>(
+      h.options, std::vector<Value>(4, Value::of_string("unused")));
+  h.cluster->start();
+  h.cluster->scheduler().schedule_at(0, [&] {
+    for (std::uint64_t i = 1; i <= 24; ++i) {
+      h.nodes[0]->submit(Command::put("key" + std::to_string(i),
+                                      "val" + std::to_string(i), 1, i));
+    }
+  });
+  while (h.cluster->scheduler().now() < 10'000'000) {
+    bool done = true;
+    for (auto* node : h.nodes) {
+      if (node->applied_commands() < 24) done = false;
+    }
+    if (done) break;
+    if (!h.cluster->scheduler().step()) break;
+  }
+  for (ProcessId id = 0; id < 4; ++id) {
+    ASSERT_EQ(h.nodes[id]->applied_commands(), 24u) << "p" << id;
+    EXPECT_EQ(h.nodes[id]->store().state_digest(),
+              h.nodes[0]->store().state_digest())
+        << "p" << id;
+  }
+  EXPECT_LT(h.cluster->scheduler().now(), sequential)
+      << "divergent windows must pipeline at the wide replicas' pace, "
+         "not stall behind the narrow ones";
+}
+
 TEST(SmrPipelined, NodesExposeEngineWindow) {
   auto cfg = consensus::QuorumConfig::create(4, 1, 1);
   SmrOptions smr_options;
