@@ -1,0 +1,208 @@
+#include "chaos/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+namespace fastbft::chaos {
+
+namespace {
+
+/// One operation in a single key's sub-history. `limit` is the real-time
+/// upper bound other ops must respect: the response time for definite
+/// ops, kTimeInfinity for ambiguous ones (a timed-out command may still
+/// execute arbitrarily late, so it never constrains anyone's order).
+struct KeyOp {
+  const OpRecord* op = nullptr;
+  TimePoint invoked = 0;
+  TimePoint limit = 0;
+  bool ambiguous = false;
+};
+
+using State = std::optional<std::string>;
+
+/// Does the recorded result match executing `op` against pre-state `s`?
+/// Mirrors KvStore::apply exactly: `found` reports existence BEFORE
+/// execution for every kind; Put/Del/Get are always ok; Cas is ok iff the
+/// pre-value equals `expected`.
+bool result_matches(const OpRecord& op, const State& s) {
+  const smr::ExecResult& r = op.reply.result;
+  bool found = s.has_value();
+  switch (op.kind) {
+    case smr::OpKind::Put:
+    case smr::OpKind::Del:
+      return r.ok && r.found == found;
+    case smr::OpKind::Get:
+      if (!r.ok || r.found != found) return false;
+      return found ? r.value == *s : r.value.empty();
+    case smr::OpKind::Cas:
+      return r.found == found && r.ok == (found && *s == op.expected);
+    case smr::OpKind::Noop:
+      return true;
+  }
+  return false;
+}
+
+State apply_effect(const OpRecord& op, const State& s) {
+  switch (op.kind) {
+    case smr::OpKind::Put:
+      return op.value;
+    case smr::OpKind::Del:
+      return std::nullopt;
+    case smr::OpKind::Cas:
+      if (s.has_value() && *s == op.expected) return op.value;
+      return s;
+    case smr::OpKind::Get:
+    case smr::OpKind::Noop:
+      return s;
+  }
+  return s;
+}
+
+/// Wing-Gong DFS over one key's sub-history.
+class KeySearch {
+ public:
+  KeySearch(std::vector<KeyOp> ops, std::size_t budget)
+      : ops_(std::move(ops)), budget_(budget) {
+    words_ = (ops_.size() + 63) / 64;
+    mask_.assign(words_, 0);
+    for (const KeyOp& op : ops_) {
+      if (!op.ambiguous) ++total_definite_;
+    }
+  }
+
+  /// True iff a valid linearization exists. Check `inconclusive()` —
+  /// a false return with the budget blown proves nothing.
+  bool run() { return dfs(std::nullopt, 0); }
+
+  bool inconclusive() const { return inconclusive_; }
+  std::uint64_t explored() const { return explored_; }
+
+ private:
+  bool handled(std::size_t i) const {
+    return (mask_[i / 64] >> (i % 64)) & 1;
+  }
+  void set_handled(std::size_t i) { mask_[i / 64] |= 1ULL << (i % 64); }
+  void clear_handled(std::size_t i) { mask_[i / 64] &= ~(1ULL << (i % 64)); }
+
+  std::string memo_key(const State& s) const {
+    std::string key(reinterpret_cast<const char*>(mask_.data()),
+                    words_ * sizeof(std::uint64_t));
+    key.push_back(s.has_value() ? '\1' : '\0');
+    if (s.has_value()) key += *s;
+    return key;
+  }
+
+  bool dfs(const State& state, std::size_t handled_definite) {
+    // Every definite op linearized and the model never contradicted: the
+    // remaining (ambiguous) ops all take the never-applied branch.
+    if (handled_definite == total_definite_) return true;
+    if (inconclusive_) return false;
+    if (!memo_.insert(memo_key(state)).second) return false;
+    if (++explored_ > budget_) {
+      inconclusive_ = true;
+      return false;
+    }
+
+    // An op is eligible next iff no unhandled op's response precedes its
+    // invocation (Wing & Gong's minimality rule). Ambiguous ops carry an
+    // infinite limit, so only unhandled definite ops constrain.
+    TimePoint min_limit = kTimeInfinity;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!handled(i) && !ops_[i].ambiguous) {
+        min_limit = std::min(min_limit, ops_[i].limit);
+      }
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (handled(i) || ops_[i].invoked > min_limit) continue;
+      const OpRecord& op = *ops_[i].op;
+      set_handled(i);
+      if (!ops_[i].ambiguous) {
+        if (result_matches(op, state) &&
+            dfs(apply_effect(op, state), handled_definite + 1)) {
+          clear_handled(i);
+          return true;
+        }
+      } else {
+        // Applied branch first (only when it changes anything — a no-op
+        // apply is identical to the skip branch below).
+        State next = apply_effect(op, state);
+        if (next != state && dfs(next, handled_definite)) {
+          clear_handled(i);
+          return true;
+        }
+        // Never-applied branch.
+        if (dfs(state, handled_definite)) {
+          clear_handled(i);
+          return true;
+        }
+      }
+      clear_handled(i);
+    }
+    return false;
+  }
+
+  std::vector<KeyOp> ops_;
+  std::size_t budget_;
+  std::size_t words_ = 0;
+  std::size_t total_definite_ = 0;
+  std::vector<std::uint64_t> mask_;
+  std::unordered_set<std::string> memo_;
+  std::uint64_t explored_ = 0;
+  bool inconclusive_ = false;
+};
+
+}  // namespace
+
+CheckResult LinearizabilityChecker::check(
+    const std::vector<OpRecord>& history) const {
+  CheckResult result;
+
+  // Locality: partition by key (map: deterministic key order).
+  std::map<std::string, std::vector<KeyOp>> by_key;
+  for (const OpRecord& op : history) {
+    if (op.kind == smr::OpKind::Noop) continue;
+    bool ambiguous = op.ambiguous();
+    // An ambiguous read neither constrains the order (infinite limit) nor
+    // changes state in its applied branch: dropping it is exact, not an
+    // approximation.
+    if (ambiguous && op.kind == smr::OpKind::Get) continue;
+    KeyOp key_op;
+    key_op.op = &op;
+    key_op.invoked = op.invoked;
+    key_op.limit = ambiguous ? kTimeInfinity : op.returned;
+    key_op.ambiguous = ambiguous;
+    by_key[op.key].push_back(key_op);
+  }
+
+  for (auto& [key, ops] : by_key) {
+    std::sort(ops.begin(), ops.end(), [](const KeyOp& a, const KeyOp& b) {
+      if (a.invoked != b.invoked) return a.invoked < b.invoked;
+      if (a.limit != b.limit) return a.limit < b.limit;
+      return a.op->sequence < b.op->sequence;
+    });
+    ++result.keys_checked;
+    KeySearch search(ops, options_.max_states_per_key);
+    bool ok = search.run();
+    result.states_explored += search.explored();
+    if (ok) continue;
+    if (search.inconclusive()) {
+      result.conclusive = false;
+      continue;  // another key may still hold a conclusive violation
+    }
+    result.linearizable = false;
+    result.violating_key = key;
+    result.violation =
+        "no valid linearization for key \"" + key + "\" (" +
+        std::to_string(ops.size()) + " ops):\n";
+    for (const KeyOp& op : ops) {
+      result.violation += "  " + describe(*op.op) + "\n";
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace fastbft::chaos

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/history.hpp"
+
+/// \file checker.hpp
+/// Linearizability checker for observed KV histories (Wing & Gong style
+/// search, per-key partitioning).
+///
+/// What "linearizable" means here: every completed, non-timeout operation
+/// must appear to take effect atomically at some point between its
+/// invocation and its response, against the sequential KvStore semantics
+/// (smr/kvstore.hpp) — Put always succeeds, Del/Get/Cas report whether the
+/// key existed BEFORE execution, Cas installs only when the current value
+/// equals `expected`. Ambiguous operations (OpRecord::ambiguous: never
+/// completed, or completed as Timeout) may take effect at any single point
+/// after their invocation or never at all; both branches are explored.
+///
+/// Per-key partitioning: KV operations on different keys commute, so a
+/// history is linearizable iff each key's sub-history is (the standard
+/// locality decomposition). That turns one search over N ops into many
+/// small searches, which is what keeps the DFS tractable; it also means
+/// cross-key claims (e.g. mget atomicity) are deliberately NOT checked —
+/// mget is documented as per-key reads only (docs/SHARDING.md).
+///
+/// The search memoizes (handled-set, key state) pairs and gives up past
+/// `max_states_per_key`, reporting conclusive = false rather than a
+/// verdict it did not earn.
+
+namespace fastbft::chaos {
+
+struct CheckerOptions {
+  /// DFS state budget per key before the checker declares the key
+  /// inconclusive (explored states = memoized (handled-set, state) pairs).
+  /// Real chaos histories decide in well under 1k states per key — the
+  /// budget only gets eaten by pathological mostly-ambiguous histories
+  /// (every op timed out), where the search would end inconclusive anyway
+  /// and a larger budget just burns shrinker wall time.
+  std::size_t max_states_per_key = 100'000;
+};
+
+struct CheckResult {
+  /// No violation found. Trustworthy as "linearizable" only when
+  /// `conclusive` is also true.
+  bool linearizable = true;
+
+  /// False when some key's search exhausted its state budget without
+  /// finding either a witness or a violation.
+  bool conclusive = true;
+
+  /// Human-readable account of the first violating key: the sub-history
+  /// that admits no valid linearization. Empty when linearizable.
+  std::string violation;
+
+  /// The key the violation was found on.
+  std::string violating_key;
+
+  std::uint64_t states_explored = 0;
+  std::uint32_t keys_checked = 0;
+};
+
+class LinearizabilityChecker {
+ public:
+  explicit LinearizabilityChecker(CheckerOptions options = {})
+      : options_(options) {}
+
+  /// Checks the full history (all keys). Stops at the first violating key.
+  CheckResult check(const std::vector<OpRecord>& history) const;
+
+ private:
+  CheckerOptions options_;
+};
+
+}  // namespace fastbft::chaos

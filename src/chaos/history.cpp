@@ -1,0 +1,80 @@
+#include "chaos/history.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+
+namespace fastbft::chaos {
+
+namespace {
+
+const char* kind_name(smr::OpKind kind) {
+  switch (kind) {
+    case smr::OpKind::Put: return "put";
+    case smr::OpKind::Del: return "del";
+    case smr::OpKind::Get: return "get";
+    case smr::OpKind::Cas: return "cas";
+    case smr::OpKind::Noop: return "noop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+crypto::Digest history_digest(const std::vector<OpRecord>& history) {
+  std::vector<const OpRecord*> sorted;
+  sorted.reserve(history.size());
+  for (const OpRecord& op : history) sorted.push_back(&op);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              if (a->client_id != b->client_id)
+                return a->client_id < b->client_id;
+              if (a->sequence != b->sequence) return a->sequence < b->sequence;
+              return a->key < b->key;
+            });
+  Encoder enc;
+  for (const OpRecord* op : sorted) {
+    enc.u64(op->client_id);
+    enc.u64(op->sequence);
+    enc.u8(static_cast<std::uint8_t>(op->kind));
+    enc.str(op->key);
+    enc.str(op->value);
+    enc.str(op->expected);
+    enc.u64(static_cast<std::uint64_t>(op->invoked));
+    enc.u64(op->completed ? static_cast<std::uint64_t>(op->returned) : 0);
+    enc.boolean(op->completed);
+    if (op->completed) {
+      enc.u8(static_cast<std::uint8_t>(op->reply.status));
+      enc.boolean(op->reply.result.ok);
+      enc.boolean(op->reply.result.found);
+      enc.str(op->reply.result.value);
+      enc.u64(op->reply.slot);
+    }
+  }
+  Bytes encoded = std::move(enc).take();
+  return crypto::sha256(encoded);
+}
+
+std::string describe(const OpRecord& op) {
+  std::string out = "c" + std::to_string(op.client_id) + "#" +
+                    std::to_string(op.sequence) + " " + kind_name(op.kind) +
+                    "(" + op.key;
+  if (op.kind == smr::OpKind::Cas) {
+    out += ", " + op.expected + " -> " + op.value;
+  } else if (op.kind == smr::OpKind::Put) {
+    out += ", " + op.value;
+  }
+  out += ") [" + std::to_string(op.invoked) + ", ";
+  out += op.completed ? std::to_string(op.returned) : std::string("pending");
+  out += "]";
+  if (!op.completed) return out + " -> ?";
+  if (op.reply.timed_out()) return out + " -> TIMEOUT";
+  out += " -> ok=" + std::to_string(op.reply.result.ok) +
+         " found=" + std::to_string(op.reply.result.found);
+  if (op.kind == smr::OpKind::Get && op.reply.result.found) {
+    out += " value=" + op.reply.result.value;
+  }
+  return out;
+}
+
+}  // namespace fastbft::chaos

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "smr/reply.hpp"
+
+/// \file history.hpp
+/// The observed client history a chaos run produces and the
+/// linearizability checker consumes: one OpRecord per client operation,
+/// carrying the operation itself, its real-time invocation/response
+/// interval in simulated ticks, and the Reply the session delivered.
+///
+/// Ambiguity. An operation is AMBIGUOUS when the run cannot know whether
+/// it took effect: it never completed, or it completed with
+/// Reply::Status::Timeout (the deadline budget ran out — the command may
+/// still execute later; at-most-once, not exactly-never). The checker must
+/// accept histories in which an ambiguous write either happened (at any
+/// point after its invocation) or never happened at all.
+
+namespace fastbft::chaos {
+
+struct OpRecord {
+  std::uint64_t client_id = 0;
+  std::uint64_t sequence = 0;
+  smr::OpKind kind = smr::OpKind::Noop;
+  std::string key;
+  std::string value;     ///< Put/Cas: the value written.
+  std::string expected;  ///< Cas only.
+
+  /// Invocation/response interval in simulated ticks. `returned` is
+  /// meaningful only when `completed`; an op that never completed has no
+  /// response event.
+  TimePoint invoked = 0;
+  TimePoint returned = 0;
+  bool completed = false;
+
+  /// The session's verdict (valid only when `completed`).
+  smr::Reply reply;
+
+  /// True when the run cannot know whether the op took effect.
+  bool ambiguous() const { return !completed || reply.timed_out(); }
+};
+
+/// Canonical order-insensitive digest of a history: SHA-256 over the
+/// records sorted by (client_id, sequence, key). Two runs with equal
+/// digests observed the identical set of operations, intervals and
+/// results — the reproducibility witness `chaos_fuzz --seed` prints.
+crypto::Digest history_digest(const std::vector<OpRecord>& history);
+
+/// One-line rendering for violation reports and artifacts.
+std::string describe(const OpRecord& op);
+
+}  // namespace fastbft::chaos

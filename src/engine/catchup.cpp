@@ -90,10 +90,15 @@ void CatchUpPolicy::raise_floor(Slot candidate) {
                     reply_sent_.lower_bound({floor_, 0}));
 }
 
-std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to) {
+std::optional<Bytes> CatchUpPolicy::reply_for(Slot slot, ProcessId to,
+                                              View epoch) {
   const Value* value = decided(slot);
   if (!value) return std::nullopt;
-  if (!reply_sent_.insert({slot, to}).second) return std::nullopt;
+  auto [it, inserted] = reply_sent_.try_emplace({slot, to}, epoch);
+  if (!inserted) {
+    if (epoch <= it->second) return std::nullopt;
+    it->second = epoch;
+  }
   Encoder enc;
   enc.u8(net::tags::kSmrDecided);
   enc.u32(group_);

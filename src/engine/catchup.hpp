@@ -88,9 +88,16 @@ class CatchUpPolicy {
   /// A claim set for `slot` that already crossed the threshold, if any.
   std::optional<Value> ready_claim(Slot slot) const;
 
-  /// Builds the serialized SMR_DECIDED reply for `to`, once per (slot,
-  /// peer); nullopt if already sent or the slot is undecided.
-  std::optional<Bytes> reply_for(Slot slot, ProcessId to);
+  /// Builds the serialized SMR_DECIDED reply for `to`; nullopt if the
+  /// slot is undecided or the reply would be redundant. `epoch` is the
+  /// view the peer's stuck-evidence message (its WISH) named: the reply
+  /// is sent once per (slot, peer) at epoch 0 — sufficient on reliable
+  /// channels — and re-sent whenever the peer re-wishes at a HIGHER view,
+  /// because a rising wish proves the earlier reply never landed (lossy
+  /// links, chaos runs). Resends stay flood-bounded: views only escalate
+  /// after the peer's own timeout, so a Byzantine peer buys at most one
+  /// reply per view it can name, same as a correct-but-stuck one.
+  std::optional<Bytes> reply_for(Slot slot, ProcessId to, View epoch = 0);
 
   /// Records `peer`'s applied watermark (everything below `applied_below`
   /// is applied there; gossiped in SMR_WRAPPED traffic, and fed for self
@@ -181,7 +188,8 @@ class CatchUpPolicy {
   std::map<Slot, std::map<Bytes, std::set<ProcessId>>> claims_;
   /// slot -> senders whose (single counted) claim was recorded.
   std::map<Slot, std::set<ProcessId>> claim_senders_;
-  std::set<std::pair<Slot, ProcessId>> reply_sent_;
+  /// (slot, peer) -> highest wish epoch already answered (see reply_for).
+  std::map<std::pair<Slot, ProcessId>, View> reply_sent_;
   /// Per-process applied watermark; index = ProcessId, start = 1.
   std::vector<Slot> watermarks_;
   Slot floor_ = 1;

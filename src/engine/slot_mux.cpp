@@ -308,7 +308,12 @@ void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
     bool sender_stuck = !inner.empty() && (inner[0] == net::tags::kWish ||
                                            inner[0] == net::tags::kVote);
     if (sender_stuck) {
-      if (auto reply = catchup_.reply_for(slot, from)) {
+      // A wish names the view the sender is escalating to; passing it as
+      // the reply epoch lets catch-up re-answer a peer whose earlier
+      // SMR_DECIDED was lost on a lossy link (it keeps wishing higher).
+      View epoch = 0;
+      if (auto wish = viewsync::parse_wish(inner)) epoch = wish->w;
+      if (auto reply = catchup_.reply_for(slot, from, epoch)) {
         transport_.send(from, std::move(*reply));
       }
     }

@@ -18,6 +18,7 @@ SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
       n_(n),
       config_(config),
       rng_(config.seed ^ 0x6e657477ULL),
+      fault_rng_(config.seed ^ 0x6368616fULL),
       handlers_(n + extra_endpoints),
       disconnected_(n + extra_endpoints, false) {
   FASTBFT_ASSERT(config_.min_delay >= 1 && config_.min_delay <= config_.delta,
@@ -40,6 +41,37 @@ void SimNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
   FASTBFT_ASSERT(from < total_size() && to < total_size(),
                  "send: id out of range");
   if (disconnected_[from] || disconnected_[to]) return;
+
+  // Chaos fault hooks: partitions and per-link drops claim the message
+  // before it reaches the stochastic model. Self-sends are local
+  // computation and exempt.
+  Duration extra_delay = 0;
+  if (from != to) {
+    if (!partition_.empty()) {
+      std::uint8_t side_from =
+          from < partition_.size() ? partition_[from] : 2;
+      std::uint8_t side_to = to < partition_.size() ? partition_[to] : 2;
+      if (side_from <= 1 && side_to <= 1 && side_from != side_to) {
+        ++dropped_;
+        return;
+      }
+    }
+    if (!link_faults_.empty()) {
+      auto it = link_faults_.find({from, to});
+      if (it != link_faults_.end()) {
+        const LinkFault& fault = it->second;
+        if (fault.drop_permille > 0 &&
+            fault_rng_.chance(fault.drop_permille, 1000)) {
+          ++dropped_;
+          return;
+        }
+        if (fault.extra_max > 0) {
+          extra_delay =
+              fault_rng_.next_in_range(fault.extra_min, fault.extra_max);
+        }
+      }
+    }
+  }
 
   stats_.record_send(payload);
   Envelope env{from, to, std::move(payload)};
@@ -77,8 +109,28 @@ void SimNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
   } else {
     delay = rng_.next_in_range(config_.min_delay, config_.delta);
   }
+  delay += extra_delay;
   if (observer_) observer_(env, now, now + delay);
   deliver_at(now + delay, std::move(env));
+}
+
+void SimNetwork::set_partition(std::vector<std::uint8_t> side) {
+  partition_ = std::move(side);
+}
+
+void SimNetwork::set_link_fault(ProcessId from, ProcessId to,
+                                LinkFault fault) {
+  FASTBFT_ASSERT(from < total_size() && to < total_size(),
+                 "set_link_fault: id out of range");
+  FASTBFT_ASSERT(fault.extra_min >= 0 && fault.extra_min <= fault.extra_max,
+                 "set_link_fault: bad delay range");
+  FASTBFT_ASSERT(fault.drop_permille <= 1000,
+                 "set_link_fault: drop_permille > 1000");
+  link_faults_[{from, to}] = fault;
+}
+
+void SimNetwork::clear_link_fault(ProcessId from, ProcessId to) {
+  link_faults_.erase({from, to});
 }
 
 void SimNetwork::deliver_at(TimePoint at, Envelope env) {

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/stats.hpp"
@@ -41,6 +43,21 @@ struct SimNetworkConfig {
   Duration min_delay = 100;
 
   std::uint64_t seed = 1;
+};
+
+/// Chaos-mode fault on one DIRECTED link: extra delivery delay drawn
+/// uniformly from [extra_min, extra_max] on top of the stochastic model,
+/// plus a per-message drop probability in permille. Dropping relaxes the
+/// reliable-channel assumption deliberately — safety of the protocol never
+/// depends on delivery, only liveness does, which is exactly what the
+/// chaos harness (src/chaos) probes. Faults are consulted by send() for
+/// remote messages only (self-sends stay instantaneous and lossless).
+struct LinkFault {
+  Duration extra_min = 0;
+  Duration extra_max = 0;
+  std::uint32_t drop_permille = 0;  ///< 0..1000
+
+  friend bool operator==(const LinkFault&, const LinkFault&) = default;
 };
 
 class SimNetwork;
@@ -108,6 +125,26 @@ class SimNetwork {
   void set_script(DeliveryScript script) { script_ = std::move(script); }
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  // --- Schedule-driven fault hooks (chaos harness; see docs/CHAOS.md) --------
+
+  /// Splits the network into two sides: a message whose endpoints sit on
+  /// DIFFERENT sides is dropped at send time. `side[id]` is 0 or 1; ids
+  /// beyond the vector (or with any other value) straddle the partition
+  /// and keep talking to everyone — pass a vector covering only the
+  /// replicas to leave client endpoints reachable from both sides.
+  /// Replaces any active partition.
+  void set_partition(std::vector<std::uint8_t> side);
+  void clear_partition() { partition_.clear(); }
+  bool partition_active() const { return !partition_.empty(); }
+
+  /// Installs (or replaces) a fault on the directed link from -> to.
+  void set_link_fault(ProcessId from, ProcessId to, LinkFault fault);
+  void clear_link_fault(ProcessId from, ProcessId to);
+  void clear_link_faults() { link_faults_.clear(); }
+
+  /// Messages dropped by partitions and link faults (NOT disconnects).
+  std::uint64_t dropped_count() const { return dropped_; }
+
   /// Releases all messages parked by a script at `kTimeInfinity`; they are
   /// delivered `delta` after the call.
   void flush_parked();
@@ -133,6 +170,9 @@ class SimNetwork {
   std::uint32_t n_;
   SimNetworkConfig config_;
   sim::Rng rng_;
+  /// Fault decisions draw from their own stream so enabling chaos hooks
+  /// never perturbs the baseline delay sequence of a given seed.
+  sim::Rng fault_rng_;
   std::vector<ReceiveHandler> handlers_;
   std::vector<bool> disconnected_;
   std::vector<Envelope> parked_;
@@ -140,6 +180,9 @@ class SimNetwork {
   Observer observer_;
   NetworkStats stats_;
   std::uint64_t delivered_ = 0;
+  std::vector<std::uint8_t> partition_;
+  std::map<std::pair<ProcessId, ProcessId>, LinkFault> link_faults_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace fastbft::net

@@ -30,6 +30,8 @@ SessionConfig make_session_config(const ServiceConfig& config,
   scfg.request_timeout = timeout;
   scfg.request_deadline = config.request_deadline;
   scfg.max_in_flight = config.max_in_flight;
+  scfg.gateway_strike_limit = config.gateway_strike_limit;
+  scfg.unsafe_first_reply_quorum = config.unsafe_first_reply_quorum;
   scfg.keys = std::move(keys);
   return scfg;
 }
@@ -62,7 +64,9 @@ class SimService final : public Service {
     options.node_factory = [this, smr](const runtime::ProcessContext& ctx,
                                        const runtime::NodeOptions&,
                                        runtime::Node::DecideCallback) {
-      auto node = std::make_unique<SmrNode>(ctx, smr, nullptr);
+      SmrOptions tuned = smr;
+      if (config_.tune_replica) config_.tune_replica(ctx.id, tuned);
+      auto node = std::make_unique<SmrNode>(ctx, tuned, nullptr);
       nodes_[ctx.id] = node.get();
       return node;
     };
@@ -127,6 +131,8 @@ class SimService final : public Service {
     return cluster_->is_faulty(replica);
   }
 
+  net::SimNetwork* sim_network() override { return &cluster_->network(); }
+
   bool stores_agree() const override {
     const SmrNode* first = nullptr;
     for (ProcessId id = 0; id < config_.cluster.n; ++id) {
@@ -157,6 +163,8 @@ class ThreadedService final : public Service {
     const auto& cfg = config_.cluster;
     FASTBFT_ASSERT(cfg.satisfies_bound(), "invalid quorum config");
     FASTBFT_ASSERT(config_.num_sessions >= 1, "a service needs sessions");
+    FASTBFT_ASSERT(!config_.tune_replica,
+                   "tune_replica is simulator-only (chaos harness)");
 
     runtime::ThreadedSmrClusterOptions options;
     options.smr = make_smr_options(config_);

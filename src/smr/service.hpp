@@ -54,6 +54,20 @@ struct ServiceConfig {
   /// Per-session submission window (bounded in-flight backpressure).
   std::uint32_t max_in_flight = 8;
 
+  /// Session-side gateway blacklisting threshold
+  /// (SessionConfig::gateway_strike_limit; 0 disables).
+  std::uint32_t gateway_strike_limit = 3;
+
+  /// TEST HOOK: complete requests on the first valid reply instead of the
+  /// f + 1 quorum (SessionConfig::unsafe_first_reply_quorum). Breaks BFT
+  /// on purpose so the chaos checker has a real bug to catch.
+  bool unsafe_first_reply_quorum = false;
+
+  /// Simulator runtime only: per-replica SmrOptions override, called once
+  /// per replica at construction. The chaos harness uses this to flip
+  /// SmrOptions::byzantine hooks on selected replicas.
+  std::function<void(ProcessId, SmrOptions&)> tune_replica;
+
   /// Gateway of session k is (first_gateway + k) % n — sessions spread
   /// their request load across replicas by default.
   ProcessId first_gateway = 0;
@@ -139,6 +153,19 @@ struct ServiceConfig {
     sim_net.seed = seed;
     return *this;
   }
+  ServiceConfig& with_gateway_strike_limit(std::uint32_t strikes) {
+    gateway_strike_limit = strikes;
+    return *this;
+  }
+  ServiceConfig& with_unsafe_first_reply_quorum(bool unsafe = true) {
+    unsafe_first_reply_quorum = unsafe;
+    return *this;
+  }
+  ServiceConfig& with_tune_replica(
+      std::function<void(ProcessId, SmrOptions&)> tune) {
+    tune_replica = std::move(tune);
+    return *this;
+  }
 };
 
 class Service {
@@ -211,6 +238,11 @@ class Service {
   /// True iff every correct replica's KV store digest matches. Threaded
   /// runtime: only valid after stop().
   virtual bool stores_agree() const = 0;
+
+  /// Simulator runtime only: the underlying SimNetwork (fault hooks,
+  /// observers, scheduler). nullptr on the threaded runtime — the chaos
+  /// harness (src/chaos) requires a sim service and checks this.
+  virtual net::SimNetwork* sim_network() { return nullptr; }
 };
 
 /// Deterministic-simulator service.

@@ -28,6 +28,7 @@ ClientSession::ClientSession(engine::Host& host,
     preferred_gateways_[shard] =
         (config_.first_gateway + shard) % config_.n;
   }
+  gateway_strikes_.assign(config_.n, 0);
 }
 
 ClientSession::~ClientSession() { *alive_ = false; }
@@ -124,7 +125,12 @@ void ClientSession::dispatch(Request& request) {
   // Gateway is chosen at dispatch time, not frozen at submit: a request
   // drained from the window queue after a failover must target the
   // gateway its SHARD currently trusts, not one it already learned is
-  // dead.
+  // dead. A blacklisted preferred gateway (demoted by ANOTHER shard's
+  // strikes since this shard last routed) is skipped here too.
+  if (gateway_blacklisted(preferred_gateways_[request.shard])) {
+    preferred_gateways_[request.shard] =
+        next_gateway_after(preferred_gateways_[request.shard]);
+  }
   request.gateway = preferred_gateways_[request.shard];
   endpoint_->send(request.gateway,
                   SmrNode::encode_request(request.cmd));
@@ -160,8 +166,13 @@ void ClientSession::on_timeout(std::uint64_t sequence) {
   // (client_id, sequence) dedup at apply time makes the retry
   // at-most-once, and any reply quorum (from either copy) completes the
   // request. Future requests for this shard start at the new gateway too.
+  // The timeout is also a strike against the gateway it happened on: a
+  // Byzantine gateway that silently drops forwards times out every
+  // request routed through it and gets demoted for the session, instead
+  // of being retried once per full rotation forever.
   failovers_.fetch_add(1);
-  preferred_gateways_[request.shard] = (request.gateway + 1) % config_.n;
+  record_strike(request.gateway);
+  preferred_gateways_[request.shard] = next_gateway_after(request.gateway);
   dispatch(request);
 }
 
@@ -191,7 +202,11 @@ void ClientSession::on_message(ProcessId from, const Bytes& payload) {
   if (from >= config_.n) return;  // replies come from replicas only
   auto reply = decode_reply_payload(payload, from, verifier_);
   if (!reply || reply->client_id != id()) {
+    // A malformed, forged or misaddressed reply is provably not from a
+    // correct replica — strike it. (Unknown-sequence late duplicates in
+    // handle_reply are NOT strikes: those are normal retry echoes.)
     rejected_.fetch_add(1);
+    record_strike(from);
     return;
   }
   handle_reply(from, *reply);
@@ -228,7 +243,9 @@ void ClientSession::handle_reply(ProcessId from, const Reply& reply) {
   request.candidates.emplace(key, reply);
   auto& voters = request.votes[key];
   voters.insert(from);
-  if (voters.size() < config_.f + 1) return;
+  std::uint32_t quorum =
+      config_.unsafe_first_reply_quorum ? 1 : config_.f + 1;
+  if (voters.size() < quorum) return;
 
   // f + 1 distinct replicas vouch for this (slot, result): at least one
   // is correct, so the command was decided at that slot and executed with
@@ -245,6 +262,32 @@ void ClientSession::handle_reply(ProcessId from, const Reply& reply) {
   // Complete LAST: future callbacks run caller code that may re-enter the
   // session (a closed-loop client submitting its next request).
   promise.set(std::move(verdict));
+}
+
+bool ClientSession::gateway_blacklisted(ProcessId gateway) const {
+  return config_.gateway_strike_limit > 0 && gateway < gateway_strikes_.size() &&
+         gateway_strikes_[gateway] >= config_.gateway_strike_limit;
+}
+
+void ClientSession::record_strike(ProcessId gateway) {
+  if (config_.gateway_strike_limit == 0) return;
+  if (gateway >= gateway_strikes_.size()) return;
+  if (gateway_blacklisted(gateway)) return;  // already demoted
+  if (++gateway_strikes_[gateway] >= config_.gateway_strike_limit) {
+    demotions_.fetch_add(1);
+  }
+}
+
+ProcessId ClientSession::next_gateway_after(ProcessId gateway) {
+  for (std::uint32_t step = 1; step <= config_.n; ++step) {
+    ProcessId candidate = (gateway + step) % config_.n;
+    if (!gateway_blacklisted(candidate)) return candidate;
+  }
+  // Everyone is blacklisted. That cannot be right (at most f < n replicas
+  // are faulty), so the strikes were circumstantial — e.g. a partition
+  // timing out every gateway in turn. Forgive and restart the rotation.
+  gateway_strikes_.assign(config_.n, 0);
+  return (gateway + 1) % config_.n;
 }
 
 void ClientSession::refill_window() {

@@ -79,6 +79,23 @@ struct SessionConfig {
   /// queues internally. >= 1.
   std::uint32_t max_in_flight = 8;
 
+  /// Gateway blacklisting: a gateway accumulates one strike per request
+  /// that times out on its watch and per malformed/bad-signature reply it
+  /// sends; at `gateway_strike_limit` strikes it is demoted for the rest
+  /// of the session — rotation and dispatch skip it. 0 disables (legacy
+  /// rotate-on-timeout-only behavior). If EVERY gateway ends up
+  /// blacklisted the table resets: an all-faulty verdict is
+  /// indistinguishable from a mis-calibrated blacklist (e.g. a long
+  /// partition striking everyone), and resetting restores liveness.
+  std::uint32_t gateway_strike_limit = 3;
+
+  /// TEST HOOK — breaks Byzantine fault tolerance on purpose. Completes a
+  /// request on the FIRST signature-valid reply instead of f + 1 matching
+  /// ones, so a single lying replica can forge results. Exists so the
+  /// chaos harness can prove its linearizability checker catches real
+  /// safety violations (see docs/CHAOS.md). Never enable outside tests.
+  bool unsafe_first_reply_quorum = false;
+
   /// Cluster key material for verifying reply signatures.
   std::shared_ptr<const crypto::KeyStore> keys;
 };
@@ -134,6 +151,14 @@ class ClientSession {
   /// sequences (late duplicates land here too).
   std::uint64_t rejected_replies() const { return rejected_.load(); }
 
+  /// Gateways demoted (blacklisted) for the session so far.
+  std::uint64_t gateway_demotions() const { return demotions_.load(); }
+
+  /// Whether `gateway` is currently blacklisted (host thread only).
+  bool is_gateway_blacklisted(ProcessId gateway) const {
+    return gateway_blacklisted(gateway);
+  }
+
   std::uint64_t in_flight() const { return in_flight_gauge_.load(); }
   std::uint64_t queued() const { return queued_gauge_.load(); }
 
@@ -165,6 +190,12 @@ class ClientSession {
   void handle_reply(ProcessId from, const Reply& reply);
   void refill_window();
 
+  bool gateway_blacklisted(ProcessId gateway) const;
+  void record_strike(ProcessId gateway);
+  /// First non-blacklisted gateway strictly after `gateway` (wrapping);
+  /// resets the blacklist if every replica has been demoted.
+  ProcessId next_gateway_after(ProcessId gateway);
+
   engine::Host& host_;
   std::unique_ptr<net::Transport> endpoint_;
   SessionConfig config_;
@@ -175,6 +206,8 @@ class ClientSession {
   /// only its own shard's entry, so failover on a dead shard never
   /// perturbs healthy shards' routing.
   std::vector<ProcessId> preferred_gateways_;
+  /// Strikes per gateway; >= gateway_strike_limit means blacklisted.
+  std::vector<std::uint32_t> gateway_strikes_;
   std::map<std::uint64_t, Request> requests_;  // sequence -> state
   std::deque<std::uint64_t> waiting_;          // beyond-window queue
   std::set<std::uint64_t> in_flight_;          // dispatched sequences
@@ -183,6 +216,7 @@ class ClientSession {
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> deadline_timeouts_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> demotions_{0};
   std::atomic<std::uint64_t> in_flight_gauge_{0};
   std::atomic<std::uint64_t> queued_gauge_{0};
 

@@ -163,6 +163,16 @@ void SmrNode::handle_request(ProcessId from, const Bytes& payload) {
     // its gateway. Forward the identical payload to the rest of the
     // cluster so any slot leader can propose it (peers see a replica
     // sender and do not forward again), then admit it locally.
+    if (options_.byzantine.drop_forwards) return;
+    if (options_.byzantine.corrupt_forwards) {
+      // Byzantine gateway: forward a truncated frame. Peers fail the
+      // decode and ignore it, and this replica does not admit the
+      // command either — from the client's side the request vanished.
+      Bytes truncated(payload.begin(),
+                      payload.begin() + payload.size() / 2);
+      endpoint_->broadcast_others(truncated);
+      return;
+    }
     endpoint_->broadcast_others(payload);
   }
   // Admit into the group that owns the command's key — every replica
@@ -215,6 +225,14 @@ void SmrNode::send_reply(Slot slot, const Command& cmd, ExecResult result) {
       cmd.client_id >= static_cast<std::uint64_t>(ectx_.cfg.n) +
                            options_.num_clients) {
     return;  // not addressed from an attached client endpoint
+  }
+  if (options_.byzantine.lie_in_replies) {
+    // Lying replica: the command DID execute honestly (consensus is
+    // untouched), but the client is told a fabricated result — correctly
+    // signed, so only the f + 1 matching-reply quorum defends against it.
+    result.ok = !result.ok;
+    result.found = true;
+    result.value = "byzantine";
   }
   Reply reply{cmd.client_id, cmd.sequence, slot, cmd.kind,
               std::move(result)};

@@ -130,6 +130,31 @@ struct SmrOptions {
   /// (drivers submit through SmrNode::submit and read stores directly).
   std::uint32_t num_clients = 0;
 
+  /// TEST HOOKS — Byzantine behaviours for the chaos harness
+  /// (src/chaos, docs/CHAOS.md). All off by default. They corrupt only
+  /// the client-facing surface, never the consensus messages: the node
+  /// still participates honestly in replication (so cluster liveness is
+  /// unaffected) but lies to clients or sabotages its gateway role.
+  struct ByzantineHooks {
+    /// Sign and send fabricated execution results in SMR_REPLY. A correct
+    /// session outvotes up to f such replicas via its f + 1 matching-reply
+    /// quorum; with SessionConfig::unsafe_first_reply_quorum set, ONE liar
+    /// breaks safety — which the linearizability checker must detect.
+    bool lie_in_replies = false;
+
+    /// Gateway role: silently drop client SMR_REQUESTs instead of
+    /// forwarding (the request is not admitted locally either).
+    bool drop_forwards = false;
+
+    /// Gateway role: forward a truncated copy of the client request so
+    /// peers fail to decode it (framing corruption; indistinguishable
+    /// from a drop at the client). Semantic corruption of the command is
+    /// deliberately NOT modelled: requests are unsigned today, so it
+    /// would be undetectable — see docs/CHAOS.md "Known gaps".
+    bool corrupt_forwards = false;
+  };
+  ByzantineHooks byzantine;
+
   /// Per-slot consensus/synchronizer tuning.
   runtime::NodeOptions node;
 };

@@ -30,12 +30,26 @@ namespace {
 struct Model {
   QuorumConfig cfg;
   LeaderFn leader = nullptr;
+  ProcessId q = 0;  // the equivocating view-1 leader of the modeled slot
   Value x = Value::of_string("X");
   Value y = Value::of_string("Y");
 
-  explicit Model(std::uint32_t f, std::uint32_t t)
-      : cfg(QuorumConfig::create(QuorumConfig::min_processes(f, t), f, t)),
-        leader(round_robin_leader(QuorumConfig::min_processes(f, t))) {}
+  /// `slot` selects the pipelined consensus instance being modeled: the
+  /// engine runs slot s under the shifted leader base(v + s - 1)
+  /// (SlotMux::leader_for with rotate_leaders on), so each slot starts from
+  /// a different equivocator and a different wrap-around order. slot = 1 is
+  /// the unshifted single-slot protocol.
+  explicit Model(std::uint32_t f, std::uint32_t t, std::uint64_t slot = 1)
+      : cfg(QuorumConfig::create(QuorumConfig::min_processes(f, t), f, t)) {
+    LeaderFn base = round_robin_leader(cfg.n);
+    if (slot == 1) {
+      leader = base;
+    } else {
+      const View shift = static_cast<View>(slot - 1);
+      leader = [base, shift](View v) { return base(v + shift); };
+    }
+    q = leader(1);
+  }
 
   VoteRecord make_vote(ProcessId voter, const Value* value, bool with_cc) {
     VoteRecord r;
@@ -89,10 +103,11 @@ void for_each_vote_set(Model& model, const World& world, bool slow_path,
             for (std::uint32_t bx = 0; bx <= sb; ++bx) {
               for (std::uint32_t by = 0; by + bx <= sb; ++by) {
                 std::vector<VoteRecord> votes;
-                ProcessId id = 1;  // ids only need to be distinct, non-q
+                ProcessId id = 0;  // ids only need to be distinct, non-q
                 auto add = [&](std::uint32_t count, const Value* value,
                                bool cc) {
                   for (std::uint32_t i = 0; i < count; ++i) {
+                    if (id == model.q) ++id;  // skip the equivocator
                     votes.push_back(model.make_vote(id++, value, cc));
                   }
                 };
@@ -114,8 +129,9 @@ void for_each_vote_set(Model& model, const World& world, bool slow_path,
   }
 }
 
-void run_model(std::uint32_t f, std::uint32_t t, bool slow_path) {
-  Model model(f, t);
+void run_model(std::uint32_t f, std::uint32_t t, bool slow_path,
+               std::uint64_t slot = 1) {
+  Model model(f, t, slot);
   const QuorumConfig& cfg = model.cfg;
   const std::uint32_t correct = cfg.n - 1 - (cfg.f - 1);  // non-q correct
   std::uint64_t worlds = 0, vote_sets = 0;
@@ -195,6 +211,33 @@ TEST(SelectionModelCheck, GeneralizedF3T1Slow) {
 
 TEST(SelectionModelCheck, GeneralizedF3T2Slow) {
   run_model(3, 2, /*slow_path=*/true);
+}
+
+// --- Pipelined engine path ---------------------------------------------------
+//
+// The same adversary schedules, run against the slot-shifted leader function
+// the pipelined engine uses (SlotMux::leader_for with rotate_leaders on):
+// slot s maps view v to base(v + s - 1), so the equivocator is the slot's
+// actual initial leader (s - 1) mod n rather than process 0, and the
+// round-robin order wraps differently. Safety must be invariant under the
+// shift — these would have caught a selection that hard-coded leader(1) = 0.
+
+TEST(SelectionModelCheck, PipelinedSlot2F1) {
+  run_model(1, 1, /*slow_path=*/false, /*slot=*/2);
+}
+
+TEST(SelectionModelCheck, PipelinedSlot5F1) {
+  // slot 5 on n = 4 wraps: the equivocator is process (5 - 1) % 4 = 0 again
+  // but via a full rotation, exercising the modular arithmetic.
+  run_model(1, 1, /*slow_path=*/false, /*slot=*/5);
+}
+
+TEST(SelectionModelCheck, PipelinedSlot2F2T1Slow) {
+  run_model(2, 1, /*slow_path=*/true, /*slot=*/2);
+}
+
+TEST(SelectionModelCheck, PipelinedSlot5F2T1Slow) {
+  run_model(2, 1, /*slow_path=*/true, /*slot=*/5);
 }
 
 }  // namespace
