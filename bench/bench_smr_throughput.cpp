@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -9,8 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "common/histogram.hpp"
 #include "net/stats.hpp"
+#include "runtime/socket_smr.hpp"
 #include "runtime/threaded_smr_cluster.hpp"
 #include "smr/client.hpp"
 #include "smr/service.hpp"
@@ -54,6 +61,15 @@
 /// (mode, rate) cell reports p50/p99/p999 — the latency-vs-offered-rate
 /// curve, swept across static pipeline depths and the adaptive controller
 /// (docs/ADAPTIVE.md, docs/PERFORMANCE.md).
+///
+/// Experiment E15 leaves shared memory entirely: the 4 replicas are
+/// forked OS processes whose only channel is loopback TCP through
+/// net::SocketNetwork (length-prefixed frames, epoll readiness loops,
+/// writev coalescing), driven by in-process smr::ClientSessions. An
+/// emulated one-way link delay (SocketNetworkConfig::tx_delay_us) stands
+/// in for a real network RTT — the same technique as E9's link delay —
+/// so the depth sweep exposes pipelining (depth d overlaps d slots' link
+/// round-trips) instead of single-core scheduler noise.
 ///
 /// Experiment E10 measures what KV snapshots buy under a crash/recover
 /// schedule (docs/CATCHUP.md): without them, a crashed replica's frozen
@@ -767,6 +783,219 @@ void sharded_group_sweep() {
               "when deepening one log's pipeline has run out)\n");
 }
 
+// --- E15: multi-process socket transport -------------------------------------
+
+/// Seconds each E15 cell may take before the client gives up (the cell is
+/// then reported incomplete instead of hanging the bench).
+constexpr long kSocketCellTimeoutS = 60;
+
+/// One E15 cell: a 4-replica cluster as 4 forked OS processes over
+/// loopback TCP (net::SocketNetwork), driven by in-process client
+/// sessions. Returns ops/sec, or 0 on an incomplete run.
+struct SocketCell {
+  std::uint32_t depth = 1;
+  std::uint32_t batch = 1;
+  std::uint32_t window = 1;     // per-session in-flight cap
+  std::uint32_t sessions = 1;
+  std::uint64_t ops = 400;
+  Duration link_delay_us = 0;
+  double wall_ms = 0;           // out
+  std::uint64_t messages = 0;   // out: client-side frames in+out
+};
+
+volatile std::sig_atomic_t g_e15_child_stop = 0;
+
+bool run_socket_cell(SocketCell& cell) {
+  using namespace std::chrono;
+  constexpr std::uint32_t kN = 4;
+  const std::uint32_t clients = std::max(cell.sessions, 4u);
+
+  // The parent pre-binds port-0 listeners and forks them to the replica
+  // children (SocketPeer::adopted_listen_fd), so nobody races on ports
+  // and the published peer table carries the real kernel-chosen ports.
+  int listen_fds[kN];
+  runtime::SocketClusterConfig config;
+  config.cfg = consensus::QuorumConfig::create(kN, 1, 1);
+  config.num_clients = clients;
+  config.smr.pipeline_depth = cell.depth;
+  config.smr.max_batch = cell.batch;
+  config.tx_delay_us = cell.link_delay_us;
+  config.peers.resize(kN + clients);
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) return false;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    socklen_t len = sizeof(addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+        ::listen(fd, 128) != 0 ||
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      return false;
+    }
+    listen_fds[id] = fd;
+    config.peers[id].host = "127.0.0.1";
+    config.peers[id].port = ntohs(addr.sin_port);
+  }
+
+  pid_t children[kN];
+  for (std::uint32_t id = 0; id < kN; ++id) {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      // Replica child: adopt our own listener, drop the siblings'.
+      g_e15_child_stop = 0;
+      std::signal(SIGTERM, [](int) { g_e15_child_stop = 1; });
+      std::signal(SIGPIPE, SIG_IGN);
+      runtime::SocketClusterConfig child_config = config;
+      for (std::uint32_t other = 0; other < kN; ++other) {
+        if (other != id) ::close(listen_fds[other]);
+      }
+      child_config.peers[id].adopted_listen_fd = listen_fds[id];
+      {
+        runtime::SocketSmrServer server(std::move(child_config), id);
+        server.start();
+        while (!g_e15_child_stop) {
+          std::this_thread::sleep_for(milliseconds(10));
+        }
+        server.stop();
+      }
+      ::_exit(0);  // skip atexit/recorder in the child
+    }
+    children[id] = pid;
+  }
+  for (std::uint32_t id = 0; id < kN; ++id) ::close(listen_fds[id]);
+
+  bool ok = false;
+  {
+    runtime::SocketClientOptions options;
+    options.first_client_id = kN;
+    options.sessions = cell.sessions;
+    options.max_in_flight = cell.window;
+    runtime::SocketSmrClient client(config, options);
+    client.start();
+
+    const auto t0 = steady_clock::now();
+    for (std::uint64_t i = 0; i < cell.ops; ++i) {
+      auto& session = client.session(static_cast<std::uint32_t>(
+          i % cell.sessions));
+      const std::string key = "key-" + std::to_string(i % 64);
+      switch (i % 3) {
+        case 0: session.put(key, "value-" + std::to_string(i)); break;
+        case 1: session.get(key); break;
+        default: session.put(key, "value-" + std::to_string(i)); break;
+      }
+    }
+    const auto give_up = t0 + seconds(kSocketCellTimeoutS);
+    while (client.completed() < cell.ops && steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+    cell.wall_ms = duration_cast<duration<double, std::milli>>(
+                       steady_clock::now() - t0)
+                       .count();
+    ok = client.completed() == cell.ops;
+    const auto stats = client.socket_stats();
+    cell.messages = stats.frames_in + stats.frames_out;
+    client.stop();
+  }
+
+  for (pid_t pid : children) ::kill(pid, SIGTERM);
+  for (pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return ok;
+}
+
+void socket_transport_sweep() {
+  constexpr Duration kLinkDelayUs = 1000;
+  std::printf("\n=== E15: multi-process SMR over loopback TCP "
+              "(net::SocketNetwork, n = 4 replica processes, f = t = 1, "
+              "%lldus emulated link delay) ===\n",
+              static_cast<long long>(kLinkDelayUs));
+
+  // Depth sweep (E9's shape, real sockets): batch 1 and window = depth so
+  // the pipeline is the ONLY lever — depth d overlaps d slots' worth of
+  // link round-trips, so throughput must scale near-linearly until the
+  // single-core CPU ceiling. perf_check.py gates depth8/depth1 >= 2x.
+  std::printf("%-8s %-10s %-14s %-14s %-10s\n", "depth", "window",
+              "wall ms", "ops/sec", "speedup");
+  double depth1_rate = 0;
+  for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+    SocketCell cell;
+    cell.depth = depth;
+    cell.batch = 1;
+    cell.window = depth;
+    cell.sessions = 1;
+    cell.ops = 400;
+    cell.link_delay_us = kLinkDelayUs;
+    if (!run_socket_cell(cell)) {
+      std::printf("%-8u (incomplete after %lds)\n", depth,
+                  kSocketCellTimeoutS);
+      continue;
+    }
+    const double rate =
+        static_cast<double>(cell.ops) / (cell.wall_ms / 1000.0);
+    if (depth == 1) depth1_rate = rate;
+    std::printf("%-8u %-10u %-14.1f %-14.0f %-10.2f\n", depth, cell.window,
+                cell.wall_ms, rate, depth1_rate > 0 ? rate / depth1_rate : 0);
+    char extra[224];
+    std::snprintf(extra, sizeof(extra),
+                  "\"n\": 4, \"f\": 1, \"t\": 1, \"batch\": 1, "
+                  "\"depth\": %u, \"window\": %u, \"sessions\": 1, "
+                  "\"commands\": %llu, \"link_delay_us\": %lld",
+                  depth, cell.window,
+                  static_cast<unsigned long long>(cell.ops),
+                  static_cast<long long>(kLinkDelayUs));
+    g_recorder.add("E15", extra, rate, 0, cell.wall_ms, cell.messages, 0, 0,
+                   0);
+  }
+
+  // Session sweep (E11's shape): k closed-loop sessions, each with its
+  // own endpoint id and in-flight window, against a depth-8 batch-8
+  // cluster — client-side concurrency as the aggregate-throughput lever.
+  std::printf("%-10s %-14s %-14s %-10s\n", "sessions", "wall ms", "ops/sec",
+              "speedup");
+  double s1_rate = 0;
+  for (std::uint32_t sessions : {1u, 2u, 4u, 8u}) {
+    SocketCell cell;
+    cell.depth = 8;
+    cell.batch = 8;
+    cell.window = 8;
+    cell.sessions = sessions;
+    cell.ops = 800;
+    cell.link_delay_us = kLinkDelayUs;
+    if (!run_socket_cell(cell)) {
+      std::printf("%-10u (incomplete after %lds)\n", sessions,
+                  kSocketCellTimeoutS);
+      continue;
+    }
+    const double rate =
+        static_cast<double>(cell.ops) / (cell.wall_ms / 1000.0);
+    if (sessions == 1) s1_rate = rate;
+    std::printf("%-10u %-14.1f %-14.0f %-10.2f\n", sessions, cell.wall_ms,
+                rate, s1_rate > 0 ? rate / s1_rate : 0);
+    char extra[224];
+    std::snprintf(extra, sizeof(extra),
+                  "\"n\": 4, \"f\": 1, \"t\": 1, \"batch\": 8, "
+                  "\"depth\": 8, \"window\": 8, \"sessions\": %u, "
+                  "\"commands\": %llu, \"link_delay_us\": %lld",
+                  sessions, static_cast<unsigned long long>(cell.ops),
+                  static_cast<long long>(kLinkDelayUs));
+    g_recorder.add("E15", extra, rate, 0, cell.wall_ms, cell.messages, 0, 0,
+                   0);
+  }
+  std::printf("(every replica is a separate OS process; all consensus and "
+              "client traffic crosses real TCP sockets with length-prefixed "
+              "frames, writev coalescing and a %lldus emulated one-way link "
+              "delay — loopback RTTs alone are too far below real network "
+              "RTTs for pipelining effects to rise above scheduler noise)\n",
+              static_cast<long long>(kLinkDelayUs));
+}
+
 void cluster_size_sweep() {
   std::printf("\n=== E8e: SMR throughput by cluster config (batch = 8, "
               "100 commands) ===\n");
@@ -882,7 +1111,7 @@ int main(int argc, char** argv) {
       if (only.empty()) only = "E14";
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--only E8d,E8g,E9,E10,E11,E13,E14,E8e,E8f] "
+                   "usage: %s [--only E8d,E8g,E9,E10,E11,E13,E14,E15,E8e,E8f] "
                    "[--json PATH] [--label NAME] [--rate R1,R2,...] "
                    "[--duration SECONDS] [--open-loop]\n",
                    argv[0]);
@@ -901,6 +1130,7 @@ int main(int argc, char** argv) {
   if (selected("E10")) fastbft::smr::snapshot_recovery_sweep();
   if (selected("E11")) fastbft::smr::closed_loop_client_sweep();
   if (selected("E13")) fastbft::smr::sharded_group_sweep();
+  if (selected("E15")) fastbft::smr::socket_transport_sweep();
   if (selected("E14")) {
     fastbft::smr::open_loop_latency_sweep(rates, duration_s);
   }

@@ -15,6 +15,11 @@ and ANY of them regressing beyond the threshold fails the gate.
   * E13 — sharded multi-group sweep, at shards = 4 when both sides have
           it (else the highest common shard count) — the aggregate
           scale-out number.
+  * E15 — multi-process socket transport, at the highest common session
+          count, PLUS an absolute gate on the current run alone: the
+          depth sweep (batch 1, one session) must show depth-8 >= 2x
+          depth-1 throughput, or pipelining has stopped surviving real
+          sockets.
   * E14 — open-loop latency sweep: gated on p99 completion latency
           (higher is WORSE, so the gate is now <= ref * (1 + threshold)),
           per mode, at the lowest offered rate common to both files —
@@ -42,7 +47,17 @@ EXPERIMENTS = {
     "E9": ("depth", "max"),
     "E11": ("sessions", "max"),
     "E13": ("shards", 4),
+    # Multi-process socket transport; the session sweep's top cell is the
+    # headline aggregate number (the depth sweep is gated separately by
+    # the absolute scaling check below).
+    "E15": ("sessions", "max"),
 }
+
+# E15 must also prove pipelining survives real sockets: in its depth
+# sweep (batch 1, one session, emulated link delay) depth-8 throughput
+# must beat depth-1 by at least this factor — an ABSOLUTE gate on the
+# current run, independent of any baseline.
+E15_MIN_DEPTH_SCALING = 2.0
 
 # Latency experiments gate a per-op quantile instead of throughput:
 # experiment -> record field holding the gated latency (µs).
@@ -131,6 +146,44 @@ def check_latency(experiment, field, base_records, currents, base_label,
     return checked
 
 
+def e15_depth_rates(records):
+    """depth -> cmds_per_sec for E15's depth-sweep cells only."""
+    out = {}
+    for r in records:
+        if r.get("experiment") != "E15":
+            continue
+        config = r.get("config", {})
+        if config.get("sessions") != 1 or config.get("batch") != 1:
+            continue
+        depth, cps = config.get("depth"), r.get("cmds_per_sec", 0)
+        if depth is not None and cps > 0:
+            out[depth] = cps
+    return out
+
+
+def check_e15_scaling(currents, failures):
+    """Absolute depth-scaling gate on the current run(s); returns checks."""
+    best = {}  # depth -> (cmds_per_sec, label)
+    for cur_label, cur_records in currents:
+        for depth, cps in e15_depth_rates(cur_records).items():
+            if depth not in best or cps > best[depth][0]:
+                best[depth] = (cps, cur_label)
+    if len(best) < 2 or 1 not in best:
+        if best:
+            print("E15 scaling: depth sweep incomplete, skipped")
+        return 0
+    top = max(best)
+    ratio = best[top][0] / best[1][0]
+    verdict = "ok"
+    if ratio < E15_MIN_DEPTH_SCALING:
+        verdict = "FAIL"
+        failures.append("E15-scaling")
+    print(f"E15 scaling: depth {top} = {best[top][0]:.0f} cmds/s vs "
+          f"depth 1 = {best[1][0]:.0f} cmds/s, ratio = {ratio:.2f} "
+          f"(needs >= {E15_MIN_DEPTH_SCALING:.1f}) [{verdict}]")
+    return 1
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -180,6 +233,8 @@ def main():
                                  base_label, len(args.current),
                                  args.max_regression, args.latency_floor_us,
                                  failures)
+
+    checked += check_e15_scaling(currents, failures)
 
     if checked == 0:
         raise SystemExit("no common experiments between baseline and current")

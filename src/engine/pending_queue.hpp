@@ -74,6 +74,17 @@ class PendingQueue {
   std::size_t pending_count() const { return pending_.size(); }
   std::size_t claimed_count() const { return claimed_.size(); }
 
+  /// True when claim() would return at least one command — the signal
+  /// on-demand windows (SlotMuxOptions::eager_windows = false) open
+  /// slots by. O(pending), which stays window-sized in practice.
+  bool has_unclaimed() const {
+    for (const auto& cmd : pending_) {
+      CommandId id = id_of(cmd);
+      if (!applied_.contains(id) && !claimed_.contains(id)) return true;
+    }
+    return false;
+  }
+
  private:
   static CommandId id_of(const smr::Command& cmd) {
     return {cmd.client_id, cmd.sequence};

@@ -84,7 +84,16 @@ void SlotMux::defer_guarded(std::function<void()> fn) {
 
 void SlotMux::start() { fill_window(); }
 
-bool SlotMux::submit(const smr::Command& cmd) { return pending_.admit(cmd); }
+bool SlotMux::submit(const smr::Command& cmd) {
+  if (!pending_.admit(cmd)) return false;
+  if (!options_.eager_windows) {
+    // On-demand windows: arrival is what opens the slot (eager mode's
+    // noop churn does this implicitly by keeping the window full).
+    fill_window();
+    note_inflight();
+  }
+  return true;
+}
 
 void SlotMux::send_wrapped(Slot slot, ProcessId to, ByteView payload) {
   transport_.send(to, wrap(ctx_.group, slot, next_apply_,
@@ -110,6 +119,7 @@ void SlotMux::fill_window() {
   // adaptive control is on. A backoff does not cancel already-open slots;
   // the window shrinks as they decide and refills at the smaller depth.
   while (!done() && next_start_ < next_apply_ + effective_depth()) {
+    if (!options_.eager_windows && !pending_.has_unclaimed()) break;
     if (options_.max_reorder_backlog > 0 &&
         reorder_.size() > options_.max_reorder_backlog) {
       // Congestion clamp: decisions are piling up behind a stalled slot;
@@ -120,6 +130,42 @@ void SlotMux::fill_window() {
     }
     start_slot(next_start_++);
   }
+}
+
+void SlotMux::park_wrapped(Slot slot, ProcessId from, ByteView payload) {
+  // Anything past twice the maximum window cannot be honest skew — a
+  // correct peer's frontier is at most one window past ours once its
+  // watermark (our floor gossip) catches up — so treat it as flooding.
+  if (slot >= next_apply_ + 2 * static_cast<Slot>(max_window_depth())) return;
+  auto& entries = parked_[slot];
+  // A correct peer contributes a handful of messages per slot (propose,
+  // ack, signed ack, commit, wishes); 6n entries cover every peer with
+  // margin, and the cap keeps a Byzantine sender from ballooning the
+  // park. Together with the horizon above this bounds parked memory at
+  // max_window_depth slots of 6n frames each.
+  if (entries.size() >= static_cast<std::size_t>(6) * ctx_.cfg.n) return;
+  entries.emplace_back(from, Bytes(payload.begin(), payload.end()));
+  std::size_t total = 0;
+  for (const auto& [s, msgs] : parked_) total += msgs.size();
+  if (total > parked_high_water_.load(std::memory_order_relaxed)) {
+    parked_high_water_.store(total, std::memory_order_relaxed);
+  }
+}
+
+void SlotMux::replay_parked() {
+  if (replaying_parked_) return;  // a replayed decision re-enters via
+                                  // on_slot_decided; the outer loop
+                                  // re-checks the frontier itself
+  replaying_parked_ = true;
+  while (!parked_.empty() &&
+         parked_.begin()->first < next_apply_ + max_window_depth()) {
+    auto node = parked_.extract(parked_.begin());
+    for (auto& [from, payload] : node.mapped()) {
+      if (done()) break;
+      on_wrapped(from, payload);
+    }
+  }
+  replaying_parked_ = false;
 }
 
 Value SlotMux::make_input(Slot slot) {
@@ -194,6 +240,7 @@ void SlotMux::on_slot_decided(Slot slot, const Value& value) {
   drain_apply();
   fill_window();
   note_inflight();
+  replay_parked();
 }
 
 void SlotMux::drain_apply() {
@@ -330,7 +377,10 @@ void SlotMux::on_wrapped(ProcessId from, ByteView payload) {
     // protocol evidence for within the MAXIMUM window (the bound every
     // window-sized invariant already assumes); the effective depth keeps
     // gating how far WE advance the frontier unprompted (fill_window).
-    if (slot >= next_apply_ + max_window_depth()) return;
+    if (slot >= next_apply_ + max_window_depth()) {
+      park_wrapped(slot, from, payload);
+      return;
+    }
     while (!done() && next_start_ <= slot) start_slot(next_start_++);
     note_inflight();
   }
@@ -469,6 +519,7 @@ void SlotMux::install_snapshot(const smr::Snapshot& snap, Bytes body,
   drain_apply();
   fill_window();
   note_inflight();
+  replay_parked();
 }
 
 void SlotMux::note_inflight() {

@@ -109,6 +109,16 @@ struct SlotMuxOptions {
   /// single-shot experiments assume the slot-independent leader function.
   bool rotate_leaders = false;
 
+  /// Open slots eagerly to the full window even with nothing to propose
+  /// (idle slots decide noop batches, keeping the log live — the
+  /// machinery's own liveness check and the behaviour every simulator
+  /// experiment assumes). Off: a slot opens only when the pending queue
+  /// holds a claimable command (or a peer's traffic joins it), so an
+  /// idle replica is quiescent instead of spinning noop slots — on a
+  /// wall-clock transport the spin competes with real work for the CPU
+  /// and can more than halve useful slot capacity.
+  bool eager_windows = true;
+
   /// Congestion-style depth clamp: while more than this many decisions are
   /// parked in the reorder buffer (blocked behind a stalled slot), no new
   /// slots are opened — deciding even further ahead only grows the buffer.
@@ -209,6 +219,14 @@ class SlotMux {
     return reorder_high_water_.load(std::memory_order_relaxed);
   }
 
+  /// Peak count of messages parked for beyond-window slots (see
+  /// parked_). Zero under in-process transports; nonzero over a real
+  /// network whenever a proposal overtook a window-advancing ack.
+  /// Thread-safe.
+  std::size_t parked_high_water() const {
+    return parked_high_water_.load(std::memory_order_relaxed);
+  }
+
   /// Times fill_window() stopped early because the reorder backlog
   /// exceeded max_reorder_backlog.
   std::uint64_t clamp_stalls() const {
@@ -302,6 +320,8 @@ class SlotMux {
   }
 
   void fill_window();
+  void park_wrapped(Slot slot, ProcessId from, ByteView payload);
+  void replay_parked();
   void start_slot(Slot slot);
   Value make_input(Slot slot);
   consensus::LeaderFn leader_for(Slot slot) const;
@@ -340,9 +360,20 @@ class SlotMux {
 
   /// Decided out of order, waiting for predecessors: slot -> value.
   std::map<Slot, Value> reorder_;
+  /// Traffic for slots past the live window, parked until the window
+  /// reaches them instead of dropped (see on_wrapped). In-process
+  /// transports deliver in global send order, so a peer's window-opening
+  /// acks always precede the leader's next proposal and this stays empty;
+  /// a real network only guarantees per-link FIFO, and dropping the first
+  /// proposal that overtakes a window-advancing ack stalls the slot until
+  /// its view-change timeout. Bounded: a max-window horizon of slots,
+  /// each capped at a handful of messages per peer.
+  std::map<Slot, std::vector<std::pair<ProcessId, Bytes>>> parked_;
+  bool replaying_parked_ = false;
   /// Single-writer (host thread); atomic so stats readers on other
   /// threads can sample them live without racing.
   std::atomic<std::size_t> reorder_high_water_{0};
+  std::atomic<std::size_t> parked_high_water_{0};
   std::atomic<std::uint64_t> clamp_stalls_{0};
 
   Slot next_start_ = 1;

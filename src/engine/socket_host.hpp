@@ -1,0 +1,17 @@
+#pragma once
+
+#include "engine/threaded_host.hpp"
+#include "net/socket_network.hpp"
+
+/// \file socket_host.hpp
+/// engine::Host over the TCP socket transport: the exact ThreadedHost
+/// adapter instantiated over net::SocketNetwork (which exposes the same
+/// now_ticks/arm_timer/cancel_timer/post surface, same µs tick unit,
+/// same same-thread timer contract). SmrNode and smr::ClientSession run
+/// over this unchanged — see runtime/socket_smr.hpp.
+
+namespace fastbft::engine {
+
+using SocketHost = BasicThreadedHost<net::SocketNetwork>;
+
+}  // namespace fastbft::engine

@@ -7,24 +7,31 @@
 #include "net/threaded_network.hpp"
 
 /// \file threaded_host.hpp
-/// Wall-clock engine host: adapts the per-delivery-thread steady-clock
-/// timer queues of net::ThreadedNetwork to the engine::Host seam. One
-/// host per process; ticks are microseconds since the network's epoch.
-/// Timer callbacks and message handlers both run on the process's single
-/// delivery thread, so the engine keeps its lock-free single-threaded
-/// discipline on real concurrency. The sim::TimerHandle same-thread
-/// contract is asserted by the network at arm/cancel time.
+/// Wall-clock engine host: adapts a per-delivery-thread steady-clock
+/// timer queue to the engine::Host seam. One host per process; ticks are
+/// microseconds since the network's epoch. Timer callbacks and message
+/// handlers both run on the process's single delivery thread, so the
+/// engine keeps its lock-free single-threaded discipline on real
+/// concurrency. The sim::TimerHandle same-thread contract is asserted by
+/// the network at arm/cancel time.
+///
+/// The adapter is a template over the network type: any transport
+/// exposing the ThreadedNetwork timer/post surface (now_ticks, arm_timer,
+/// cancel_timer, post) plugs in. ThreadedHost is the in-process
+/// instantiation; engine/socket_host.hpp instantiates the same adapter
+/// over net::SocketNetwork, which is what lets the whole SMR stack run
+/// multi-process without touching engine code.
 
 namespace fastbft::engine {
 
-class ThreadedHost final : public Host {
+template <typename Net>
+class BasicThreadedHost final : public Host {
  public:
-  ThreadedHost(net::ThreadedNetwork& net, ProcessId id)
-      : net_(net), id_(id) {}
+  BasicThreadedHost(Net& net, ProcessId id) : net_(net), id_(id) {}
 
-  ThreadedHost(const ThreadedHost&) = delete;
-  ThreadedHost& operator=(const ThreadedHost&) = delete;
-  ~ThreadedHost() override { *alive_ = false; }
+  BasicThreadedHost(const BasicThreadedHost&) = delete;
+  BasicThreadedHost& operator=(const BasicThreadedHost&) = delete;
+  ~BasicThreadedHost() override { *alive_ = false; }
 
   TimePoint now() const override { return net_.now_ticks(); }
 
@@ -49,11 +56,13 @@ class ThreadedHost final : public Host {
   }
 
  private:
-  net::ThreadedNetwork& net_;
+  Net& net_;
   ProcessId id_;
   /// Handles may outlive the host during cluster teardown; the flag keeps
   /// their eager-cancel hook from touching a dead network reference.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
+
+using ThreadedHost = BasicThreadedHost<net::ThreadedNetwork>;
 
 }  // namespace fastbft::engine

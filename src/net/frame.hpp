@@ -1,0 +1,145 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+/// \file frame.hpp
+/// Wire framing for the TCP socket transport (net::SocketNetwork), kept
+/// free of any socket code so the codec is unit-testable in memory
+/// (tests/test_frame.cpp) — the morphling idiom: message-level tests,
+/// sockets only at the edge.
+///
+/// Wire format (docs/TRANSPORT.md):
+///
+///   frame     := header payload
+///   header    := u32 LE payload length
+///   payload   := 0 bytes                -> heartbeat (liveness only)
+///              | message bytes          -> delivered to the endpoint
+///
+/// The FIRST frame in each direction of a fresh connection must be a
+/// handshake: magic "FBFT", codec version, the sender's ProcessId and its
+/// view of the replica cluster size. Everything after it is raw message
+/// payloads exactly as net::Transport::send produced them (first byte =
+/// type tag, see net/tags.hpp).
+///
+/// FrameReader is the inbound half: a recycled contiguous buffer the
+/// readiness loop recvs straight into (prepare()/commit()), yielding
+/// complete frames as ByteViews over that buffer — no per-frame heap
+/// allocation, torn reads across frame boundaries handled by buffering
+/// the partial tail. FrameWriter is the outbound half: it only ever
+/// produces the 4-byte header, because payload bytes are scatter-gathered
+/// out of their SharedBytes buffers by writev (zero staging copies).
+
+namespace fastbft::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46424654;  // "FBFT"
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default ceiling on one frame's payload. Generous for batched SMR
+/// traffic and snapshot chunks; anything larger on the wire is treated as
+/// a protocol violation and closes the connection (a garbage or hostile
+/// header would otherwise make the reader buffer up to 4 GiB).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+using FrameHeader = std::array<std::uint8_t, kFrameHeaderBytes>;
+
+void encode_frame_header(std::uint32_t payload_len, FrameHeader& out);
+std::uint32_t decode_frame_header(const FrameHeader& in);
+
+/// Connection-opening identification frame (both directions send one).
+struct Handshake {
+  ProcessId sender = kNoProcess;
+  std::uint32_t cluster_size = 0;
+
+  Bytes encode() const;
+
+  enum class Result { Ok, BadMagic, VersionMismatch, Malformed };
+  static Result decode(ByteView payload, Handshake& out);
+};
+
+/// Outbound framing: header production plus the oversize guard. The
+/// payload itself is never copied here — the send path writev()s it out
+/// of its SharedBytes buffer.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_(max_frame_bytes) {}
+
+  std::size_t max_frame_bytes() const { return max_; }
+
+  /// Header for a payload of `size` bytes (0 = heartbeat). False when the
+  /// payload exceeds the frame ceiling — the caller must drop, not send.
+  bool header_for(std::size_t size, FrameHeader& out) const;
+
+  /// Whole frame as one buffer (header + payload copy). Test/convenience
+  /// path only; the socket send path never materializes this.
+  std::optional<Bytes> frame(ByteView payload) const;
+
+ private:
+  std::size_t max_;
+};
+
+/// Inbound framing over one recycled contiguous buffer.
+///
+/// Usage by a readiness loop:
+///   auto* p = reader.prepare(chunk);        // writable tail
+///   ssize_t r = recv(fd, p, chunk, 0);      // kernel writes in place
+///   reader.commit(r);
+///   while (auto f = reader.next()) deliver(*f);
+///   if (reader.error()) close_connection();
+///
+/// Views returned by next() alias the internal buffer and stay valid
+/// until the next prepare()/feed() call (which may compact), so a loop
+/// may drain several frames before refilling. feed() is the in-memory
+/// equivalent of prepare+memcpy+commit for tests and non-socket callers.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_(max_frame_bytes) {}
+
+  FrameReader(FrameReader&&) = default;
+  FrameReader& operator=(FrameReader&&) = default;
+
+  /// Contiguous writable tail of at least `hint` bytes. Compacts the
+  /// consumed prefix first, so steady-state reads recycle one buffer.
+  std::uint8_t* prepare(std::size_t hint);
+
+  /// `n` bytes were written at the last prepare() pointer.
+  void commit(std::size_t n);
+
+  /// Appends a chunk (tests / in-memory use). Returns !error().
+  bool feed(ByteView chunk);
+
+  /// Next complete frame payload (empty view = heartbeat), or nullopt if
+  /// more bytes are needed. Flips error() on an oversized length header;
+  /// after that every call returns nullopt.
+  std::optional<ByteView> next();
+
+  bool error() const { return error_; }
+  const char* error_reason() const { return error_ ? reason_ : ""; }
+
+  std::uint64_t frames_seen() const { return frames_; }
+
+  /// Unconsumed bytes buffered (partial frame tail).
+  std::size_t buffered() const { return write_pos_ - read_pos_; }
+
+  /// Backing-buffer capacity — exposed so tests can assert recycling
+  /// (capacity plateaus while frames keep flowing).
+  std::size_t capacity() const { return buf_.capacity(); }
+
+ private:
+  Bytes buf_;                  // storage; size() = grow-only high-water
+  std::size_t read_pos_ = 0;   // parse cursor
+  std::size_t write_pos_ = 0;  // end of buffered bytes
+  std::size_t max_;
+  bool error_ = false;
+  const char* reason_ = "";
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace fastbft::net

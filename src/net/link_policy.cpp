@@ -1,0 +1,52 @@
+#include "net/link_policy.hpp"
+
+#include <algorithm>
+
+namespace fastbft::net {
+
+Backoff::Backoff(BackoffOptions opts, std::uint64_t seed)
+    : opts_(opts), base_(opts.initial_us), rng_state_(seed ? seed : 1) {}
+
+std::uint64_t Backoff::next_rand() {
+  // xorshift64* — tiny, deterministic, good enough for retry jitter.
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+Duration Backoff::next_delay() {
+  const Duration base = base_;
+  base_ = std::min<Duration>(
+      opts_.max_us, static_cast<Duration>(static_cast<double>(base_) *
+                                          opts_.multiplier));
+  if (opts_.jitter <= 0.0) return base;
+  const double span = static_cast<double>(base) * opts_.jitter;
+  const double frac =
+      static_cast<double>(next_rand() >> 11) / 9007199254740992.0;  // [0,1)
+  return base + static_cast<Duration>(span * frac);
+}
+
+LinkPolicy::LinkPolicy(LinkPolicyOptions opts, std::uint64_t seed)
+    : opts_(opts), backoff_(opts.backoff, seed) {}
+
+TimePoint LinkPolicy::on_connect_failed(TimePoint now) {
+  retry_at_ = now + backoff_.next_delay();
+  return retry_at_;
+}
+
+void LinkPolicy::on_established(TimePoint now) {
+  backoff_.reset();
+  retry_at_ = 0;
+  last_rx_ = now;
+  last_tx_ = now;
+}
+
+TimePoint LinkPolicy::next_established_deadline() const {
+  return std::min(last_tx_ + opts_.heartbeat_interval_us,
+                  last_rx_ + opts_.heartbeat_timeout_us);
+}
+
+}  // namespace fastbft::net

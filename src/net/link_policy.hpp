@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+/// \file link_policy.hpp
+/// Pure connection-lifecycle policy for one outbound/established socket
+/// link: capped exponential backoff with bounded deterministic jitter for
+/// connect retries, and heartbeat tx/rx deadlines for liveness. No
+/// sockets, no wall clock — callers feed TimePoints (µs ticks), so the
+/// whole policy is unit-testable against a fake clock
+/// (tests/test_frame.cpp) and SocketNetwork just asks it "when next?".
+
+namespace fastbft::net {
+
+struct BackoffOptions {
+  Duration initial_us = 20'000;    // first retry delay
+  Duration max_us = 1'000'000;     // cap
+  double multiplier = 2.0;
+  double jitter = 0.25;            // delay drawn from [base, base*(1+jitter)]
+};
+
+/// Capped exponential backoff. Jitter comes from an internal xorshift64*
+/// stream seeded per link, so two replicas restarting together do not
+/// retry in lockstep, yet a given seed replays deterministically.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions opts = {}, std::uint64_t seed = 1);
+
+  /// Delay before the next attempt; advances the exponential base.
+  Duration next_delay();
+
+  /// Base the NEXT next_delay() call will jitter from (tests).
+  Duration current_base() const { return base_; }
+
+  void reset() { base_ = opts_.initial_us; }
+
+ private:
+  std::uint64_t next_rand();
+
+  BackoffOptions opts_;
+  Duration base_;
+  std::uint64_t rng_state_;
+};
+
+struct LinkPolicyOptions {
+  BackoffOptions backoff;
+  /// Send an empty heartbeat frame after this much tx silence.
+  Duration heartbeat_interval_us = 500'000;
+  /// Declare the peer down after this much rx silence (must comfortably
+  /// exceed the interval so a busy-but-alive peer is never cut).
+  Duration heartbeat_timeout_us = 2'000'000;
+};
+
+/// Retry + liveness bookkeeping for one link. All methods are O(1) and
+/// side-effect only internal state; the owner drives I/O.
+class LinkPolicy {
+ public:
+  explicit LinkPolicy(LinkPolicyOptions opts = {}, std::uint64_t seed = 1);
+
+  const LinkPolicyOptions& options() const { return opts_; }
+
+  /// Connect attempt failed (or an established link broke) at `now`.
+  /// Returns the time at which to retry.
+  TimePoint on_connect_failed(TimePoint now);
+
+  /// Connection is up: resets backoff and stamps both liveness clocks.
+  void on_established(TimePoint now);
+
+  void on_rx(TimePoint now) { last_rx_ = now; }
+  void on_tx(TimePoint now) { last_tx_ = now; }
+
+  TimePoint retry_at() const { return retry_at_; }
+  bool retry_due(TimePoint now) const { return now >= retry_at_; }
+
+  /// True when tx silence calls for a heartbeat frame.
+  bool heartbeat_due(TimePoint now) const {
+    return now - last_tx_ >= opts_.heartbeat_interval_us;
+  }
+
+  /// True when rx silence exceeds the timeout: mark the peer down.
+  bool rx_expired(TimePoint now) const {
+    return now - last_rx_ >= opts_.heartbeat_timeout_us;
+  }
+
+  /// Earliest future instant at which an established link needs service
+  /// (heartbeat tx due or rx expiry) — feeds the epoll_wait timeout.
+  TimePoint next_established_deadline() const;
+
+  TimePoint last_rx() const { return last_rx_; }
+  TimePoint last_tx() const { return last_tx_; }
+  Duration current_backoff_base() const { return backoff_.current_base(); }
+
+ private:
+  LinkPolicyOptions opts_;
+  Backoff backoff_;
+  TimePoint retry_at_ = 0;
+  TimePoint last_rx_ = 0;
+  TimePoint last_tx_ = 0;
+};
+
+}  // namespace fastbft::net

@@ -107,4 +107,80 @@ std::string tag_name(std::uint8_t tag) {
   }
 }
 
+SocketCounters& SocketCounters::merge(const SocketCounters& o) {
+  connects_attempted += o.connects_attempted;
+  connects_established += o.connects_established;
+  reconnects += o.reconnects;
+  handshake_rejects += o.handshake_rejects;
+  peer_downs += o.peer_downs;
+  frames_in += o.frames_in;
+  frames_out += o.frames_out;
+  heartbeats_in += o.heartbeats_in;
+  heartbeats_out += o.heartbeats_out;
+  bytes_in += o.bytes_in;
+  bytes_out += o.bytes_out;
+  writev_calls += o.writev_calls;
+  writev_frames += o.writev_frames;
+  frames_dropped += o.frames_dropped;
+  decode_errors += o.decode_errors;
+  delivery_allocs += o.delivery_allocs;
+  delivery_reuses += o.delivery_reuses;
+  if (o.send_queue_high_water > send_queue_high_water)
+    send_queue_high_water = o.send_queue_high_water;
+  return *this;
+}
+
+std::string SocketCounters::summary(const std::string& indent) const {
+  std::ostringstream out;
+  out << indent << "frames in/out: " << frames_in << "/" << frames_out
+      << " (" << bytes_in << "/" << bytes_out << " bytes)\n";
+  out << indent << "heartbeats in/out: " << heartbeats_in << "/"
+      << heartbeats_out << "\n";
+  out << indent << "writev: " << writev_calls << " calls, " << writev_frames
+      << " frames";
+  if (writev_calls > 0) {
+    out << " (" << (static_cast<double>(writev_frames) /
+                    static_cast<double>(writev_calls))
+        << " frames/call)";
+  }
+  out << "\n";
+  out << indent << "connects: " << connects_attempted << " attempted, "
+      << connects_established << " established, " << reconnects
+      << " reconnects\n";
+  out << indent << "faults: " << peer_downs << " peer-downs, "
+      << handshake_rejects << " handshake rejects, " << decode_errors
+      << " decode errors, " << frames_dropped << " dropped\n";
+  out << indent << "delivery buffer: " << delivery_allocs << " allocs, "
+      << delivery_reuses << " reuses\n";
+  out << indent << "send queue high-water: " << send_queue_high_water
+      << " frames\n";
+  return out.str();
+}
+
+SocketCounters SocketStats::snapshot() const {
+  SocketCounters c;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  c.connects_attempted = get(connects_attempted);
+  c.connects_established = get(connects_established);
+  c.reconnects = get(reconnects);
+  c.handshake_rejects = get(handshake_rejects);
+  c.peer_downs = get(peer_downs);
+  c.frames_in = get(frames_in);
+  c.frames_out = get(frames_out);
+  c.heartbeats_in = get(heartbeats_in);
+  c.heartbeats_out = get(heartbeats_out);
+  c.bytes_in = get(bytes_in);
+  c.bytes_out = get(bytes_out);
+  c.writev_calls = get(writev_calls);
+  c.writev_frames = get(writev_frames);
+  c.frames_dropped = get(frames_dropped);
+  c.decode_errors = get(decode_errors);
+  c.delivery_allocs = get(delivery_allocs);
+  c.delivery_reuses = get(delivery_reuses);
+  c.send_queue_high_water = get(send_queue_high_water);
+  return c;
+}
+
 }  // namespace fastbft::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -77,5 +78,78 @@ class NetworkStats {
 /// Maps a payload tag to a short name ("PROPOSE", "ACK", ...). Unknown tags
 /// render as hex.
 std::string tag_name(std::uint8_t tag);
+
+// --- Socket-transport counters ----------------------------------------------
+
+/// Plain snapshot of one connection's (or one aggregate's) counters.
+/// Copyable, mergeable; what the smr_server stats dump and the socket
+/// tests consume.
+struct SocketCounters {
+  std::uint64_t connects_attempted = 0;
+  std::uint64_t connects_established = 0;
+  std::uint64_t reconnects = 0;        // established after a prior establish
+  std::uint64_t handshake_rejects = 0; // bad magic/version/identity
+  std::uint64_t peer_downs = 0;        // rx-silence heartbeat timeouts
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t heartbeats_in = 0;
+  std::uint64_t heartbeats_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t writev_calls = 0;      // frames_out / writev_calls = batching
+  std::uint64_t writev_frames = 0;     // frames completed by those calls
+  std::uint64_t frames_dropped = 0;    // send-queue cap overflow
+  std::uint64_t decode_errors = 0;     // oversized/garbage inbound framing
+  /// Zero-copy invariant pair (mirrors PayloadStats envelope accounting):
+  /// one delivery_alloc when the per-connection delivery buffer had to
+  /// grow, one delivery_reuse when an inbound frame was handed to the
+  /// receive handler out of recycled capacity. Steady state: reuses
+  /// dominate, allocs plateau.
+  std::uint64_t delivery_allocs = 0;
+  std::uint64_t delivery_reuses = 0;
+  std::uint64_t send_queue_high_water = 0;  // max frames ever queued
+
+  SocketCounters& merge(const SocketCounters& o);
+
+  /// Multi-line human-readable dump (indent prefixes every line).
+  std::string summary(const std::string& indent = "") const;
+};
+
+/// Thread-safe (relaxed atomic) counter holder — one per socket link plus
+/// one per network for link-independent events. Written by the readiness
+/// loop, snapshot()-able from any thread (the SIGTERM stats dump, tests).
+class SocketStats {
+ public:
+  std::atomic<std::uint64_t> connects_attempted{0};
+  std::atomic<std::uint64_t> connects_established{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> handshake_rejects{0};
+  std::atomic<std::uint64_t> peer_downs{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> heartbeats_in{0};
+  std::atomic<std::uint64_t> heartbeats_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> writev_calls{0};
+  std::atomic<std::uint64_t> writev_frames{0};
+  std::atomic<std::uint64_t> frames_dropped{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> delivery_allocs{0};
+  std::atomic<std::uint64_t> delivery_reuses{0};
+  std::atomic<std::uint64_t> send_queue_high_water{0};
+
+  void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+  void high_water(std::uint64_t depth) {
+    std::uint64_t cur = send_queue_high_water.load(std::memory_order_relaxed);
+    while (depth > cur && !send_queue_high_water.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  SocketCounters snapshot() const;
+};
 
 }  // namespace fastbft::net

@@ -44,6 +44,7 @@ void SmrNode::init_groups(engine::Host& host) {
   mux_options.max_batch = options_.max_batch;
   mux_options.rotate_leaders =
       options_.rotate_leaders.value_or(options_.num_groups > 1);
+  mux_options.eager_windows = options_.eager_windows;
   mux_options.max_reorder_backlog = options_.max_reorder_backlog;
   mux_options.snapshot_interval = options_.snapshot_interval;
   mux_options.snapshot_chunk_bytes = options_.snapshot_chunk_bytes;
@@ -214,6 +215,8 @@ SmrNode::EngineStats SmrNode::engine_stats() const {
     stats.adaptive_backoffs += mux.adaptive_backoffs();
     stats.reorder_high_water = std::max(stats.reorder_high_water,
                                         mux.reorder_high_water());
+    stats.parked_high_water = std::max(stats.parked_high_water,
+                                       mux.parked_high_water());
     stats.clamp_stalls += mux.clamp_stalls();
   }
   return stats;

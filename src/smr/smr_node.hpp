@@ -98,6 +98,12 @@ struct SmrOptions {
   /// leader function). Tests that pin a fixed leader set this explicitly.
   std::optional<bool> rotate_leaders;
 
+  /// Open slots eagerly to the full window even when idle (see
+  /// engine::SlotMuxOptions). The simulator default; the socket runtime
+  /// turns it off so idle replicas do not spin noop slots against real
+  /// CPUs.
+  bool eager_windows = true;
+
   /// Reorder-backlog congestion clamp (see engine::SlotMuxOptions;
   /// 0 = disabled).
   std::size_t max_reorder_backlog = 0;
@@ -247,6 +253,7 @@ class SmrNode final : public runtime::IProcess {
     std::uint32_t effective_batch = 0;   ///< max over groups
     std::uint64_t adaptive_backoffs = 0; ///< summed
     std::size_t reorder_high_water = 0;  ///< max over groups
+    std::size_t parked_high_water = 0;   ///< max over groups
     std::uint64_t clamp_stalls = 0;      ///< summed
   };
   EngineStats engine_stats() const;

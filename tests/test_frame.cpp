@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/link_policy.hpp"
+
+/// Codec and connection-policy tests for the socket transport — all in
+/// memory, zero socket code (the morphling idiom): torn reads, hostile
+/// headers and handshake mismatches are exercised by feeding byte
+/// sequences to FrameReader, and retry/heartbeat policy runs against a
+/// fake µs clock. The actual sockets appear only in
+/// tests/test_socket_transport.cpp and the tools.
+
+namespace fastbft::net {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string str_of(ByteView v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+// --- Header codec ------------------------------------------------------------
+
+TEST(FrameHeaderTest, RoundTripsLittleEndian) {
+  FrameHeader hdr;
+  encode_frame_header(0x01020304, hdr);
+  EXPECT_EQ(hdr[0], 0x04);  // LE: low byte first
+  EXPECT_EQ(hdr[3], 0x01);
+  EXPECT_EQ(decode_frame_header(hdr), 0x01020304u);
+  encode_frame_header(0, hdr);
+  EXPECT_EQ(decode_frame_header(hdr), 0u);
+}
+
+// --- FrameWriter -------------------------------------------------------------
+
+TEST(FrameWriterTest, ProducesHeaderAndRejectsOversize) {
+  FrameWriter writer(/*max_frame_bytes=*/8);
+  FrameHeader hdr;
+  EXPECT_TRUE(writer.header_for(8, hdr));
+  EXPECT_EQ(decode_frame_header(hdr), 8u);
+  EXPECT_FALSE(writer.header_for(9, hdr));
+
+  auto frame = writer.frame(bytes_of("hello"));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), kFrameHeaderBytes + 5);
+  EXPECT_FALSE(writer.frame(bytes_of("ninechars")).has_value());
+}
+
+// --- FrameReader: framing ----------------------------------------------------
+
+TEST(FrameReaderTest, YieldsFramesAndHeartbeats) {
+  FrameWriter writer;
+  FrameReader reader;
+  ASSERT_TRUE(reader.feed(*writer.frame(bytes_of("alpha"))));
+  ASSERT_TRUE(reader.feed(*writer.frame(Bytes{})));  // heartbeat
+  ASSERT_TRUE(reader.feed(*writer.frame(bytes_of("beta"))));
+
+  auto f1 = reader.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(str_of(*f1), "alpha");
+  auto f2 = reader.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_TRUE(f2->empty());  // heartbeat = empty payload
+  auto f3 = reader.next();
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(str_of(*f3), "beta");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.frames_seen(), 3u);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, TornReadsByteByByte) {
+  // A recv() may return any prefix of the stream: feeding one byte at a
+  // time must yield exactly the same frames as one big read, with the
+  // partial tail buffered in between.
+  FrameWriter writer;
+  Bytes stream;
+  for (const char* s : {"x", "longer-payload", ""}) {
+    auto f = *writer.frame(bytes_of(s));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameReader reader;
+  std::vector<std::string> seen;
+  for (std::uint8_t byte : stream) {
+    ASSERT_TRUE(reader.feed(ByteView(&byte, 1)));
+    while (auto frame = reader.next()) seen.push_back(str_of(*frame));
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "x");
+  EXPECT_EQ(seen[1], "longer-payload");
+  EXPECT_EQ(seen[2], "");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, TornReadAcrossHeaderBoundary) {
+  FrameWriter writer;
+  auto frame = *writer.frame(bytes_of("payload"));
+  FrameReader reader;
+  // Split inside the 4-byte header.
+  ASSERT_TRUE(reader.feed(ByteView(frame.data(), 2)));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 2u);
+  ASSERT_TRUE(reader.feed(ByteView(frame.data() + 2, frame.size() - 2)));
+  auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(str_of(*out), "payload");
+}
+
+TEST(FrameReaderTest, OversizedFrameIsFatal) {
+  FrameReader reader(/*max_frame_bytes=*/16);
+  FrameHeader hdr;
+  encode_frame_header(17, hdr);
+  EXPECT_TRUE(reader.feed(ByteView(hdr.data(), hdr.size())));
+  EXPECT_FALSE(reader.next().has_value());  // flips the sticky error
+  EXPECT_TRUE(reader.error());
+  EXPECT_STREQ(reader.error_reason(), "oversized frame");
+  // The error is sticky: a byte stream cannot be resynchronized after a
+  // bad length, so the connection must be dropped.
+  EXPECT_FALSE(reader.feed(bytes_of("more")));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameReaderTest, GarbageHeaderIsFatal) {
+  FrameReader reader;  // default 4 MiB ceiling
+  const Bytes garbage = {0xff, 0xff, 0xff, 0xff, 0x00, 0x01};
+  reader.feed(garbage);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.error());
+}
+
+TEST(FrameReaderTest, PrepareCommitRecyclesBuffer) {
+  // The readiness-loop path: recv() writes into prepare()'s tail and the
+  // storage is grow-only, so capacity plateaus while frames keep flowing
+  // (no per-frame allocation, no shrink/regrow memset churn).
+  FrameWriter writer;
+  FrameReader reader;
+  auto frame = *writer.frame(bytes_of(std::string(1024, 'z')));
+  std::size_t plateau = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint8_t* dst = reader.prepare(frame.size());
+    std::memcpy(dst, frame.data(), frame.size());
+    reader.commit(frame.size());
+    auto out = reader.next();
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->size(), 1024u);
+    if (i == 10) plateau = reader.capacity();
+  }
+  EXPECT_EQ(reader.frames_seen(), 1000u);
+  EXPECT_EQ(reader.capacity(), plateau);
+}
+
+// --- Handshake ---------------------------------------------------------------
+
+TEST(HandshakeTest, RoundTrips) {
+  Handshake in;
+  in.sender = 3;
+  in.cluster_size = 7;
+  Handshake out;
+  ASSERT_EQ(Handshake::decode(in.encode(), out), Handshake::Result::Ok);
+  EXPECT_EQ(out.sender, 3u);
+  EXPECT_EQ(out.cluster_size, 7u);
+}
+
+TEST(HandshakeTest, RejectsBadMagicAndVersionMismatch) {
+  Handshake hs;
+  hs.sender = 1;
+  hs.cluster_size = 4;
+  Bytes wire = hs.encode();
+
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  Handshake out;
+  EXPECT_EQ(Handshake::decode(bad_magic, out), Handshake::Result::BadMagic);
+
+  // Version is the u16 after the 4-byte magic; a peer speaking a future
+  // codec must be refused, not misparsed.
+  Bytes bad_version = wire;
+  bad_version[4] ^= 0x01;
+  EXPECT_EQ(Handshake::decode(bad_version, out),
+            Handshake::Result::VersionMismatch);
+}
+
+TEST(HandshakeTest, RejectsTruncationAndTrailingBytes) {
+  Handshake hs;
+  hs.sender = 2;
+  hs.cluster_size = 4;
+  Bytes wire = hs.encode();
+  Handshake out;
+  EXPECT_EQ(Handshake::decode(ByteView(wire.data(), wire.size() - 1), out),
+            Handshake::Result::Malformed);
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_EQ(Handshake::decode(padded, out), Handshake::Result::Malformed);
+  EXPECT_EQ(Handshake::decode(ByteView(), out), Handshake::Result::BadMagic);
+}
+
+// --- Backoff against a fake clock -------------------------------------------
+
+TEST(BackoffTest, GrowsExponentiallyToCapWithBoundedJitter) {
+  BackoffOptions opts;
+  opts.initial_us = 10'000;
+  opts.max_us = 80'000;
+  opts.multiplier = 2.0;
+  opts.jitter = 0.25;
+  Backoff backoff(opts, /*seed=*/7);
+  // Bases double 10ms -> 20 -> 40 -> 80 and then pin at the cap; every
+  // delay is drawn from [base, base * 1.25).
+  Duration expected_base = 10'000;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(backoff.current_base(), expected_base);
+    const Duration delay = backoff.next_delay();
+    EXPECT_GE(delay, expected_base);
+    EXPECT_LT(delay, static_cast<Duration>(expected_base * 1.25) + 1);
+    expected_base = std::min<Duration>(opts.max_us, expected_base * 2);
+  }
+  EXPECT_EQ(backoff.current_base(), opts.max_us);
+}
+
+TEST(BackoffTest, DeterministicPerSeedAndResettable) {
+  BackoffOptions opts;
+  Backoff a(opts, 42), b(opts, 42), c(opts, 43);
+  std::vector<Duration> seq_a, seq_b, seq_c;
+  for (int i = 0; i < 6; ++i) {
+    seq_a.push_back(a.next_delay());
+    seq_b.push_back(b.next_delay());
+    seq_c.push_back(c.next_delay());
+  }
+  EXPECT_EQ(seq_a, seq_b);  // same seed replays exactly
+  EXPECT_NE(seq_a, seq_c);  // different links don't retry in lockstep
+  a.reset();
+  EXPECT_EQ(a.current_base(), opts.initial_us);
+}
+
+TEST(BackoffTest, ZeroJitterIsExact) {
+  BackoffOptions opts;
+  opts.initial_us = 5'000;
+  opts.jitter = 0.0;
+  Backoff backoff(opts, 1);
+  EXPECT_EQ(backoff.next_delay(), 5'000);
+  EXPECT_EQ(backoff.next_delay(), 10'000);
+}
+
+// --- LinkPolicy against a fake clock ----------------------------------------
+
+TEST(LinkPolicyTest, RetryScheduleAndResetOnReconnect) {
+  LinkPolicyOptions opts;
+  opts.backoff.initial_us = 20'000;
+  opts.backoff.jitter = 0.0;
+  LinkPolicy policy(opts, /*seed=*/5);
+
+  TimePoint now = 1'000;
+  EXPECT_TRUE(policy.retry_due(now));  // nothing pending yet
+  EXPECT_EQ(policy.on_connect_failed(now), now + 20'000);
+  EXPECT_FALSE(policy.retry_due(now + 19'999));
+  EXPECT_TRUE(policy.retry_due(now + 20'000));
+
+  // Second failure doubles the delay...
+  now += 20'000;
+  EXPECT_EQ(policy.on_connect_failed(now), now + 40'000);
+
+  // ...and a successful connect resets the exponential state, so the
+  // next failure starts over at the initial delay.
+  now += 40'000;
+  policy.on_established(now);
+  EXPECT_EQ(policy.current_backoff_base(), 20'000);
+  EXPECT_EQ(policy.on_connect_failed(now), now + 20'000);
+}
+
+TEST(LinkPolicyTest, HeartbeatDueAndRxExpiry) {
+  LinkPolicyOptions opts;
+  opts.heartbeat_interval_us = 100'000;
+  opts.heartbeat_timeout_us = 400'000;
+  LinkPolicy policy(opts);
+
+  const TimePoint up = 1'000'000;
+  policy.on_established(up);
+  EXPECT_FALSE(policy.heartbeat_due(up + 99'999));
+  EXPECT_TRUE(policy.heartbeat_due(up + 100'000));
+  policy.on_tx(up + 100'000);  // heartbeat sent
+  EXPECT_FALSE(policy.heartbeat_due(up + 150'000));
+
+  // Inbound traffic keeps the peer alive; silence past the timeout (4x
+  // the tx interval, so a busy-but-alive peer is never cut) kills it.
+  policy.on_rx(up + 200'000);
+  EXPECT_FALSE(policy.rx_expired(up + 599'999));
+  EXPECT_TRUE(policy.rx_expired(up + 600'000));
+}
+
+TEST(LinkPolicyTest, EstablishedDeadlineIsEarlierOfHeartbeatAndExpiry) {
+  LinkPolicyOptions opts;
+  opts.heartbeat_interval_us = 100'000;
+  opts.heartbeat_timeout_us = 400'000;
+  LinkPolicy policy(opts);
+  policy.on_established(1'000);
+  // Fresh link: the tx heartbeat comes due first.
+  EXPECT_EQ(policy.next_established_deadline(), 1'000 + 100'000);
+  // After tx, but with rx still stale, the rx expiry bounds the deadline.
+  policy.on_tx(350'000);
+  EXPECT_EQ(policy.next_established_deadline(), 1'000 + 400'000);
+}
+
+}  // namespace
+}  // namespace fastbft::net
