@@ -1,0 +1,76 @@
+#include <cstdint>
+
+#include "net/frame.hpp"
+
+/// \file fuzz_frame.cpp
+/// Fuzzes the TCP framing layer: FrameReader fed the input as a hostile
+/// byte stream, plus the handshake codec over each recovered frame.
+///
+/// The input's first byte picks a chunking pattern so torn reads across
+/// frame boundaries — the case the recycled-buffer compaction logic
+/// exists for — are exercised, not just whole-buffer feeds. A small
+/// max_frame_bytes ceiling keeps the oversize-header rejection path hot
+/// (with the production 4 MiB ceiling nearly every random length header
+/// would be accepted and the fuzzer would just append bytes).
+///
+/// Contract under test: the reader never reads out of bounds, never
+/// yields a frame longer than the ceiling, terminates (error() sticks),
+/// and Handshake::decode is total over arbitrary payloads.
+
+namespace {
+
+using fastbft::ByteView;
+using fastbft::net::FrameReader;
+using fastbft::net::Handshake;
+
+void exercise_stream(ByteView stream, std::size_t chunk, std::size_t ceiling) {
+  FrameReader reader(ceiling);
+  std::size_t offset = 0;
+  bool first = true;
+  while (offset < stream.size()) {
+    std::size_t n = chunk == 0 ? stream.size() : chunk;
+    ByteView piece = stream.sub(offset, n);
+    offset += piece.size();
+    if (!reader.feed(piece)) break;
+    while (auto frame = reader.next()) {
+      if (frame->size() > ceiling) __builtin_trap();
+      if (first) {
+        // Connection-opening frame: must be a handshake. decode() is
+        // total; whichever Result comes back, encoding a decoded-Ok
+        // handshake must re-decode Ok (round-trip).
+        Handshake hs;
+        if (Handshake::decode(*frame, hs) == Handshake::Result::Ok) {
+          Handshake again;
+          if (Handshake::decode(hs.encode(), again) != Handshake::Result::Ok) {
+            __builtin_trap();
+          }
+        }
+        first = false;
+      }
+    }
+    if (reader.error()) {
+      // Errors are sticky: further feeds/nexts must stay inert.
+      (void)reader.feed(stream.sub(0, 8));
+      if (reader.next().has_value()) __builtin_trap();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  ByteView input(data, size);
+  // First byte steers chunking; the rest is the stream.
+  std::uint8_t selector = input[0];
+  ByteView stream = input.sub(1, input.size() - 1);
+  // 1..16-byte chunks exercise torn headers/payloads; 0 = one big feed.
+  std::size_t chunk = selector & 0x0f;
+  // Two ceilings: a tiny one (64 B) that makes oversize rejection common,
+  // and a moderate one (4 KiB) under which realistic frames reassemble.
+  std::size_t ceiling = (selector & 0x10) ? 64 : 4096;
+  exercise_stream(stream, chunk, ceiling);
+  return 0;
+}

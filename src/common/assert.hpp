@@ -4,10 +4,31 @@
 #include <cstdlib>
 
 /// \file assert.hpp
-/// Always-on assertion macro. The protocols in this library maintain
-/// cryptographic and quorum invariants that must hold even in release
-/// builds; violating one indicates a bug, so we abort loudly instead of
-/// continuing with corrupted state.
+/// Always-on assertion macro plus the compiled-out invariant tier. The
+/// protocols in this library maintain cryptographic and quorum invariants
+/// that must hold even in release builds; violating one indicates a bug,
+/// so we abort loudly instead of continuing with corrupted state.
+///
+/// Two tiers (docs/ANALYSIS.md):
+///  * FASTBFT_ASSERT  — always compiled, every build type. Safety
+///    invariants (quorum math, codec bounds) whose cost is negligible.
+///  * FASTBFT_DASSERT — compiled only when FASTBFT_ENFORCE_INVARIANTS is
+///    1. Contract checks on hot paths (thread affinity, single-writer
+///    stats, one-alloc-per-broadcast) that sanitizer/dev builds enforce as
+///    hard failures and Release builds compile to nothing.
+///
+/// FASTBFT_ENFORCE_INVARIANTS is normally injected by CMake (ON for every
+/// build type except Release, and forced ON under any sanitizer); when it
+/// is absent the header defaults it from NDEBUG so out-of-tree users get
+/// the classic assert semantics.
+
+#if !defined(FASTBFT_ENFORCE_INVARIANTS)
+#if defined(NDEBUG)
+#define FASTBFT_ENFORCE_INVARIANTS 0
+#else
+#define FASTBFT_ENFORCE_INVARIANTS 1
+#endif
+#endif
 
 #define FASTBFT_ASSERT(cond, msg)                                          \
   do {                                                                     \
@@ -17,3 +38,17 @@
       std::abort();                                                        \
     }                                                                      \
   } while (false)
+
+#if FASTBFT_ENFORCE_INVARIANTS
+#define FASTBFT_DASSERT(cond, msg) FASTBFT_ASSERT(cond, msg)
+#else
+/// Disabled: the condition is parsed (so it cannot rot) but never
+/// evaluated, and its operands count as used for -Werror purposes.
+#define FASTBFT_DASSERT(cond, msg)                                         \
+  do {                                                                     \
+    if (false) {                                                           \
+      (void)(cond);                                                        \
+      (void)(msg);                                                         \
+    }                                                                      \
+  } while (false)
+#endif

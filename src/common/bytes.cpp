@@ -16,12 +16,17 @@ std::atomic<std::uint64_t>
 std::uint32_t clamp_group(std::uint32_t group) {
   return std::min(group, PayloadStats::kMaxTrackedGroups - 1);
 }
+
+thread_local std::uint64_t t_payload_allocs = 0;
 }  // namespace
 
 void PayloadStats::record_alloc(std::size_t bytes) {
   g_payload_allocs.fetch_add(1, std::memory_order_relaxed);
   g_payload_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  ++t_payload_allocs;
 }
+
+std::uint64_t PayloadStats::thread_allocs() { return t_payload_allocs; }
 
 std::uint64_t PayloadStats::allocs() {
   return g_payload_allocs.load(std::memory_order_relaxed);

@@ -71,6 +71,15 @@ class PayloadStats {
   static std::uint64_t allocs();
   static std::uint64_t alloc_bytes();
 
+  /// Payload materializations by the CALLING thread only. Unlike allocs()
+  /// this is race-free to delta across a code region even while other
+  /// threads materialize concurrently, which is what lets the
+  /// one-alloc-per-broadcast contract be a checked invariant
+  /// (FASTBFT_DASSERT in Transport::broadcast*) instead of a test-only
+  /// property. Maintained in every build; a thread-local increment next
+  /// to two relaxed fetch_adds is noise.
+  static std::uint64_t thread_allocs();
+
   /// Envelope-container accounting (net::ThreadedNetwork): one
   /// envelope_alloc per freshly heap-allocated inbox queue node, one
   /// envelope_reuse per node recycled from the per-inbox pool. In steady

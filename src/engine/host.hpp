@@ -40,6 +40,18 @@ class Host : public sim::TimerService {
   /// objects living on a delivery thread. On the single-threaded
   /// simulator it degenerates to defer().
   virtual void post(std::function<void()> fn) = 0;
+
+  /// True when the calling thread may legally act as this host's logical
+  /// thread right now: the host thread itself, or the setup/teardown
+  /// phases when no host thread is live. Engine code checks it (via
+  /// FASTBFT_DASSERT, so only in invariant builds) before mutating state
+  /// the single-threaded-executor guarantee protects — TimerWheel entries
+  /// on schedule/cancel, SlotMux/AdaptiveController single-writer stats —
+  /// extending the transport's arm/cancel affinity asserts to mutations
+  /// that never reach the transport. Single-threaded hosts are always ok;
+  /// threaded hosts delegate to the network's common::ThreadGuard, which
+  /// reports permissively when invariant checking is compiled out.
+  virtual bool affinity_ok() const { return true; }
 };
 
 /// Thin adapter over the deterministic simulator: the scheduler already is

@@ -125,6 +125,8 @@ void SlotMux::fill_window() {
       // Congestion clamp: decisions are piling up behind a stalled slot;
       // opening more slots would only deepen the backlog. The window
       // refills when the stall resolves (drain_apply + fill_window).
+      FASTBFT_DASSERT(host_.affinity_ok(),
+                      "engine stats are single-writer (host thread)");
       clamp_stalls_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
@@ -148,6 +150,8 @@ void SlotMux::park_wrapped(Slot slot, ProcessId from, ByteView payload) {
   std::size_t total = 0;
   for (const auto& [s, msgs] : parked_) total += msgs.size();
   if (total > parked_high_water_.load(std::memory_order_relaxed)) {
+    FASTBFT_DASSERT(host_.affinity_ok(),
+                    "engine stats are single-writer (host thread)");
     parked_high_water_.store(total, std::memory_order_relaxed);
   }
 }
@@ -230,9 +234,15 @@ void SlotMux::on_slot_decided(Slot slot, const Value& value) {
   catchup_.record_decided(slot, value);
   reorder_.emplace(slot, value);
   if (reorder_.size() > reorder_high_water_.load(std::memory_order_relaxed)) {
+    FASTBFT_DASSERT(host_.affinity_ok(),
+                    "engine stats are single-writer (host thread)");
     reorder_high_water_.store(reorder_.size(), std::memory_order_relaxed);
   }
   if (adaptive_) {
+    // The controller's knob/stat atomics share the single-writer
+    // discipline: readers sample from anywhere, only this thread writes.
+    FASTBFT_DASSERT(host_.affinity_ok(),
+                    "AdaptiveController is single-writer (host thread)");
     TimePoint now = host_.now();
     adaptive_->on_decision(now - started_at, reorder_.size(), now);
   }

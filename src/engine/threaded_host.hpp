@@ -55,6 +55,8 @@ class BasicThreadedHost final : public Host {
     net_.post(id_, std::move(fn));
   }
 
+  bool affinity_ok() const override { return net_.affinity_ok(id_); }
+
  private:
   Net& net_;
   ProcessId id_;

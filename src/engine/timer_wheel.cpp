@@ -9,6 +9,8 @@ TimerWheel::~TimerWheel() {
 
 sim::TimerHandle TimerWheel::schedule_after(Duration delay,
                                             std::function<void()> fn) {
+  FASTBFT_DASSERT(host_.affinity_ok(),
+                  "TimerWheel::schedule_after off the host thread");
   Key key{host_.now() + delay, next_seq_++};
   entries_.emplace(key, std::move(fn));
   if (!firing_) arm();
@@ -17,6 +19,8 @@ sim::TimerHandle TimerWheel::schedule_after(Duration delay,
   // to its deadline. `alive_` guards against handles outliving the wheel.
   return make_handle(cancelled, [this, key, alive = alive_] {
     if (!*alive) return;
+    FASTBFT_DASSERT(host_.affinity_ok(),
+                    "TimerHandle cancelled off the host thread");
     if (entries_.erase(key) > 0) ++cancelled_dropped_;
   });
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "engine/host.hpp"
 
 /// \file timer_wheel.hpp
@@ -18,7 +19,10 @@
 /// Cancellation is eager: cancelling a handle erases its wheel entry
 /// immediately (TimerHandle's on_cancel hook), so dead timers never pin
 /// wheel slots until their deadline. The wheel inherits the host's
-/// same-thread contract — schedule and cancel only on the host thread.
+/// same-thread contract — schedule and cancel only on the host thread —
+/// and enforces it in invariant builds via Host::affinity_ok(): an entry
+/// erase bypasses the transport's own arm/cancel asserts, so the wheel
+/// re-checks before mutating its map (docs/ANALYSIS.md).
 
 namespace fastbft::engine {
 

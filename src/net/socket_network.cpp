@@ -176,6 +176,9 @@ void SocketNetwork::stop() {
   for (auto& loop_ptr : loops_) {
     if (!loop_ptr) continue;
     Loop& loop = *loop_ptr;
+    // The loop thread is joined: ownership of loop state returns to the
+    // thread tearing the network down.
+    loop.guard.unbind();
     for (auto& link : loop.links) {
       if (link->fd >= 0) ::close(link->fd);
       link->fd = -1;
@@ -248,6 +251,7 @@ void SocketNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
 
 void SocketNetwork::send_on_loop(Loop& loop, ProcessId to,
                                  SharedBytes payload) {
+  loop.guard.check("send_on_loop: loop state is loop-thread-only");
   Link& link = *loop.links[to];
   enqueue_frame(loop, link, to, std::move(payload), /*heartbeat=*/false);
 }
@@ -276,9 +280,10 @@ void SocketNetwork::enqueue_frame(Loop& loop, Link& link, ProcessId peer,
 // --- Timers (same-thread contract, mirrors ThreadedNetwork) -----------------
 
 void SocketNetwork::assert_timer_owner(const Loop& loop) const {
-  FASTBFT_ASSERT(!started_ || stopped_.load() ||
-                     std::this_thread::get_id() == loop.owner.load(),
-                 "timers must be armed/cancelled on the owning loop thread");
+  // Guard is unbound before run_loop starts and after stop() joins, so
+  // setup/teardown-thread arms stay legal, exactly as on ThreadedNetwork.
+  loop.guard.check(
+      "timers must be armed/cancelled on the owning loop thread");
 }
 
 SocketNetwork::TimerKey SocketNetwork::arm_timer(ProcessId id,
@@ -301,6 +306,7 @@ void SocketNetwork::cancel_timer(ProcessId id, TimerKey key) {
 
 void SocketNetwork::run_loop(Loop& loop) {
   loop.owner.store(std::this_thread::get_id());
+  loop.guard.bind();
   while (!stopping_.load(std::memory_order_acquire)) {
     loop_round(loop);
   }
@@ -767,6 +773,7 @@ bool SocketNetwork::parse_frames(Loop& loop, Link& link, ProcessId peer) {
 
 void SocketNetwork::deliver(Loop& loop, Link& link, ProcessId from,
                             ByteView frame) {
+  loop.guard.check("deliver: handlers run on the owning loop thread only");
   if (!handlers_[loop.id]) return;
   // ReceiveHandler takes `const Bytes&`, so inbound frames cost exactly
   // one copy — into this connection's recycled delivery buffer, which is
@@ -784,7 +791,7 @@ void SocketNetwork::deliver(Loop& loop, Link& link, ProcessId from,
 void SocketNetwork::update_epoll(Loop& loop, Link& link, ProcessId peer) {
   if (link.fd < 0) return;
   epoll_event ev{};
-  ev.events = EPOLLIN | (link.want_writable ? EPOLLOUT : 0);
+  ev.events = EPOLLIN | (link.want_writable ? EPOLLOUT : 0u);
   ev.data.u64 = make_tag(kTagLink, link.gen, peer);
   ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, link.fd, &ev);
 }

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_guard.hpp"
 #include "net/frame.hpp"
 #include "net/link_policy.hpp"
 #include "net/stats.hpp"
@@ -162,6 +163,13 @@ class SocketNetwork {
                      std::function<void()> fn);
   void cancel_timer(ProcessId id, TimerKey key);
 
+  /// Same contract query as ThreadedNetwork::affinity_ok — what
+  /// engine::SocketHost reports to the engine's affinity checks.
+  bool affinity_ok(ProcessId id) const {
+    const auto& guard = loop_of(id)->guard;
+    return !guard.bound() || guard.held();
+  }
+
   std::uint32_t size() const { return config_.cluster_size; }
   std::uint32_t total_size() const {
     return static_cast<std::uint32_t>(config_.peers.size());
@@ -245,7 +253,15 @@ class SocketNetwork {
     std::map<TimerKey, std::function<void()>> timers;
     std::uint64_t next_timer_seq = 0;
 
+    /// Functional owner id: send() branches on it to run inline on the
+    /// loop thread instead of paying an eventfd round trip, so it exists
+    /// in every build type.
     std::atomic<std::thread::id> owner{};
+    /// Contract enforcement (invariant builds only): loop-owned state —
+    /// links, timers, send queues — is touched exclusively by the loop
+    /// thread; a misrouted direct call is a hard failure instead of a
+    /// silent data race. Bound by run_loop, unbound by stop() after join.
+    FASTBFT_GUARD_MEMBER(guard);
     SocketStats stats;  // loop-level events (rejected accepts, ...)
   };
 

@@ -65,6 +65,9 @@ void ThreadedNetwork::stop() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // Workers are joined: ownership of every inbox (timers included)
+  // returns to whichever thread is tearing the network down.
+  for (auto& inbox : inboxes_) inbox->guard.unbind();
   stopped_.store(true);
 }
 
@@ -140,15 +143,13 @@ void ThreadedNetwork::send(ProcessId from, ProcessId to, SharedBytes payload) {
 }
 
 void ThreadedNetwork::assert_timer_owner(ProcessId id) const {
-  // Before start() the setup thread owns everything; after stop() the
-  // delivery threads are joined and the tearing-down thread owns
-  // everything; in between only the delivery thread itself may touch its
+  // Before start() the setup thread owns everything (guard unbound);
+  // after stop() the delivery threads are joined and stop() unbound the
+  // guards; in between only the delivery thread itself may touch its
   // timers (TimerHandle carries no synchronization).
-  FASTBFT_ASSERT(!started_ || stopped_.load() ||
-                     std::this_thread::get_id() ==
-                         inboxes_[id]->owner.load(std::memory_order_acquire),
-                 "timers are same-thread only: arm/cancel on the owning "
-                 "delivery thread");
+  inboxes_[id]->guard.check(
+      "timers are same-thread only: arm/cancel on the owning delivery "
+      "thread");
 }
 
 std::pair<TimePoint, std::uint64_t> ThreadedNetwork::arm_timer(
@@ -170,7 +171,7 @@ void ThreadedNetwork::cancel_timer(ProcessId id,
 
 void ThreadedNetwork::run_worker(ProcessId id) {
   Inbox& inbox = *inboxes_[id];
-  inbox.owner.store(std::this_thread::get_id(), std::memory_order_release);
+  inbox.guard.bind();
   while (true) {
     std::function<void()> task_fn;
     std::function<void()> timer_fn;

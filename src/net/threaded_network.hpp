@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_guard.hpp"
 #include "net/transport.hpp"
 
 /// \file threaded_network.hpp
@@ -134,6 +135,17 @@ class ThreadedNetwork {
   /// or was cancelled. Same-thread contract as arm_timer.
   void cancel_timer(ProcessId id, std::pair<TimePoint, std::uint64_t> key);
 
+  /// True when the calling thread may act as `id`'s delivery thread under
+  /// the same-thread contract: the delivery thread itself, or the
+  /// setup/teardown phases while no delivery thread owns the inbox. What
+  /// engine::BasicThreadedHost reports to the engine's affinity checks
+  /// (Host::affinity_ok); permissive (always true) when invariant
+  /// checking is compiled out.
+  bool affinity_ok(ProcessId id) const {
+    const auto& guard = inboxes_[id]->guard;
+    return !guard.bound() || guard.held();
+  }
+
   /// Replica cluster size (broadcast scope). Client endpoints not counted.
   std::uint32_t size() const { return n_; }
 
@@ -178,9 +190,11 @@ class ThreadedNetwork {
     /// and the only work a disconnected worker still performs.
     std::deque<std::function<void()>> tasks;
 
-    /// Delivery thread id, set as the worker starts (atomic only so the
-    /// contract assert itself is race-free).
-    std::atomic<std::thread::id> owner{};
+    /// Affinity contract: the delivery thread binds this as it starts and
+    /// stop() unbinds after joining, so timer arm/cancel and handler
+    /// execution are checked against the owning thread in invariant builds
+    /// (common::ThreadGuard; zero state and zero code in Release).
+    FASTBFT_GUARD_MEMBER(guard);
   };
 
   void run_worker(ProcessId id);

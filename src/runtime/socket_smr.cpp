@@ -40,7 +40,8 @@ SocketSmrServer::SocketSmrServer(SocketClusterConfig config, ProcessId id)
 
   host_ = std::make_unique<engine::SocketHost>(net_, id_);
   engine::EngineContext ectx{config_.cfg, id_,        keys_,
-                             leader_of_,  /*group=*/0, /*stats=*/nullptr};
+                             leader_of_,  /*group=*/0, /*stats=*/nullptr,
+                             /*verify_cache=*/nullptr};
   node_ = std::make_unique<smr::SmrNode>(
       *host_, std::move(ectx), net_.endpoint(id_), smr_options,
       [this](ProcessId, GroupId, Slot,

@@ -41,7 +41,7 @@ ThreadedSmrCluster::ThreadedSmrCluster(consensus::QuorumConfig cfg,
 
 std::unique_ptr<smr::SmrNode> ThreadedSmrCluster::make_node(ProcessId id) {
   engine::EngineContext ectx{cfg_, id, keys_, leader_of_, /*group=*/0,
-                             /*stats=*/nullptr};
+                             /*stats=*/nullptr, /*verify_cache=*/nullptr};
   auto node = std::make_unique<smr::SmrNode>(
       *hosts_[id], std::move(ectx), net_.endpoint(id), smr_options_,
       [this](ProcessId pid, GroupId group, Slot slot,

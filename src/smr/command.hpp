@@ -40,15 +40,15 @@ struct Command {
   static Command put(std::string key, std::string value,
                      std::uint64_t client_id = 0, std::uint64_t sequence = 0) {
     return Command{OpKind::Put, std::move(key), std::move(value), client_id,
-                   sequence};
+                   sequence,    {}};
   }
   static Command del(std::string key, std::uint64_t client_id = 0,
                      std::uint64_t sequence = 0) {
-    return Command{OpKind::Del, std::move(key), {}, client_id, sequence};
+    return Command{OpKind::Del, std::move(key), {}, client_id, sequence, {}};
   }
   static Command get(std::string key, std::uint64_t client_id = 0,
                      std::uint64_t sequence = 0) {
-    return Command{OpKind::Get, std::move(key), {}, client_id, sequence};
+    return Command{OpKind::Get, std::move(key), {}, client_id, sequence, {}};
   }
   static Command cas(std::string key, std::string expected, std::string value,
                      std::uint64_t client_id = 0, std::uint64_t sequence = 0) {

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+
+#include "common/thread_guard.hpp"
+
+/// Tests for the thread-affinity contract facility (docs/ANALYSIS.md):
+/// in invariant builds a ThreadGuard must catch cross-thread misuse by
+/// aborting (death tests); in Release builds it must be provably free —
+/// an empty type whose member calls compile to nothing.
+
+namespace fastbft::common {
+namespace {
+
+#if FASTBFT_ENFORCE_INVARIANTS
+
+TEST(ThreadGuard, UnboundPassesAnyThread) {
+  ThreadGuard guard;
+  EXPECT_FALSE(guard.bound());
+  EXPECT_FALSE(guard.held());
+  guard.check("setup-phase call on an unbound guard is legal");
+  std::thread([&] {
+    guard.check("unbound passes from any thread");
+  }).join();
+}
+
+TEST(ThreadGuard, BindMakesOwnerHold) {
+  ThreadGuard guard;
+  guard.bind();
+  EXPECT_TRUE(guard.bound());
+  EXPECT_TRUE(guard.held());
+  guard.check("owner passes its own guard");
+  std::thread([&] { EXPECT_FALSE(guard.held()); }).join();
+}
+
+TEST(ThreadGuard, UnbindReopensTheGuard) {
+  ThreadGuard guard;
+  std::thread([&] { guard.bind(); }).join();
+  EXPECT_TRUE(guard.bound());
+  EXPECT_FALSE(guard.held());
+  guard.unbind();
+  guard.check("post-teardown calls pass again");
+}
+
+TEST(ThreadGuard, CheckOrBindClaimsOnFirstUse) {
+  ThreadGuard guard;
+  guard.check_or_bind("first use claims ownership");
+  EXPECT_TRUE(guard.held());
+  guard.check_or_bind("the claiming thread keeps passing");
+}
+
+TEST(ThreadGuardDeathTest, CrossThreadCheckAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadGuard guard;
+  guard.bind();
+  EXPECT_DEATH(
+      {
+        std::thread([&] {
+          guard.check("cross-thread access must abort");
+        }).join();
+      },
+      "cross-thread access must abort");
+}
+
+TEST(ThreadGuardDeathTest, CrossThreadCheckOrBindAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadGuard guard;
+  guard.check_or_bind("main thread claims");
+  EXPECT_DEATH(
+      {
+        std::thread([&] {
+          guard.check_or_bind("second thread must abort");
+        }).join();
+      },
+      "second thread must abort");
+}
+
+#else  // Release: the guard must be free.
+
+TEST(ThreadGuard, ReleaseStubIsEmpty) {
+  static_assert(std::is_empty_v<ThreadGuard>,
+                "release ThreadGuard must carry no state");
+  static_assert(std::is_trivially_copyable_v<ThreadGuard>);
+  // [[no_unique_address]] must make an embedded guard free: a struct
+  // gains no size from the member.
+  struct WithGuard {
+    std::uint64_t payload;
+    FASTBFT_GUARD_MEMBER(guard);
+  };
+  static_assert(sizeof(WithGuard) == sizeof(std::uint64_t),
+                "FASTBFT_GUARD_MEMBER must occupy no storage in Release");
+  // And every operation is callable in a constant expression — i.e. the
+  // compiler can prove it does nothing at all.
+  constexpr bool noop = [] {
+    ThreadGuard guard;
+    guard.bind();
+    guard.check("unused");
+    guard.check_or_bind("unused");
+    guard.unbind();
+    return !guard.bound() && !guard.held();
+  }();
+  static_assert(noop, "release ThreadGuard operations must be constexpr no-ops");
+}
+
+TEST(ThreadGuard, DisabledDassertNeverEvaluates) {
+  int evaluations = 0;
+  FASTBFT_DASSERT((++evaluations, true), "must not evaluate");
+  FASTBFT_DASSERT((++evaluations, false), "must not evaluate or abort");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // FASTBFT_ENFORCE_INVARIANTS
+
+}  // namespace
+}  // namespace fastbft::common

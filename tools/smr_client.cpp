@@ -1,7 +1,7 @@
 // smr_client: closed-loop workload driver for an smr_server cluster.
 //
-//   ./build/tools/smr_client --peers "$PEERS" --n 4 --f 1 --shards 2 \
-//       --sessions 2 --ops 2000 --workload mixed
+//   ./build/tools/smr_client --peers "$PEERS" --n 4 --f 1 --shards 2
+//       --sessions 2 --ops 2000 --workload mixed  (one line)
 //
 // Hosts K client sessions (endpoint ids --first .. --first+K-1; servers
 // must have been started with --clients covering them), submits --ops

@@ -4,8 +4,7 @@
 //
 //   PEERS=127.0.0.1:7300,127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303
 //   for id in 0 1 2 3; do
-//     ./build/tools/smr_server --id $id --n 4 --f 1 --shards 2 \
-//         --peers "$PEERS" &
+//     ./build/tools/smr_server --id $id --n 4 --f 1 --shards 2 --peers "$PEERS" &
 //   done
 //
 // then point tools/smr_client at the same --peers list. Every process
